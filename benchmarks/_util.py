@@ -1,0 +1,15 @@
+"""Shared helpers for the benchmark tree."""
+
+from __future__ import annotations
+
+import pathlib
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+def publish(name: str, text: str) -> None:
+    """Print a reproduced artifact and persist it under benchmarks/out/."""
+    OUT_DIR.mkdir(exist_ok=True)
+    (OUT_DIR / f"{name}.txt").write_text(text + "\n")
+    print()
+    print(text)

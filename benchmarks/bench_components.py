@@ -1,0 +1,69 @@
+"""Micro-benchmarks of the allocator's building blocks.
+
+These time the analysis pipeline on the largest benchmark (md5) so
+regressions in the hot paths (liveness, interference construction, the
+region merge, pointwise rebuild) show up as timing changes.
+
+Run with::
+
+    pytest benchmarks/bench_components.py --benchmark-only
+"""
+
+import pytest
+
+from repro.cfg.liveness import compute_liveness
+from repro.cfg.nsr import compute_nsr
+from repro.cfg.webs import rename_webs
+from repro.core.analysis import analyze_thread
+from repro.core.bounds import estimate_bounds
+from repro.core.intra import IntraAllocator
+from repro.igraph.interference import build_interference
+from repro.igraph.merge import merge_region_colorings
+from repro.suite.registry import load
+
+
+@pytest.fixture(scope="module")
+def md5_program():
+    return rename_webs(load("md5"))
+
+
+@pytest.fixture(scope="module")
+def md5_analysis():
+    return analyze_thread(load("md5"))
+
+
+def test_bench_liveness(benchmark, md5_program):
+    benchmark(compute_liveness, md5_program)
+
+
+def test_bench_nsr(benchmark, md5_program):
+    lv = compute_liveness(md5_program)
+    benchmark(compute_nsr, lv)
+
+
+def test_bench_interference(benchmark, md5_program):
+    lv = compute_liveness(md5_program)
+    nsr = compute_nsr(lv)
+    benchmark(build_interference, lv, nsr)
+
+
+def test_bench_region_merge(benchmark, md5_analysis):
+    benchmark(merge_region_colorings, md5_analysis.graphs)
+
+
+def test_bench_full_analysis(benchmark):
+    benchmark(lambda: analyze_thread(load("md5")))
+
+
+def test_bench_bounds(benchmark, md5_analysis):
+    benchmark(estimate_bounds, md5_analysis)
+
+
+def test_bench_pointwise_rebuild(benchmark, md5_analysis):
+    bounds = estimate_bounds(md5_analysis)
+
+    def rebuild():
+        alloc = IntraAllocator(md5_analysis, bounds)
+        return alloc.pointwise(bounds.min_pr, bounds.min_r - bounds.min_pr)
+
+    benchmark.pedantic(rebuild, rounds=3, iterations=1)

@@ -1,0 +1,24 @@
+"""Regenerate paper Figure 14 (SRA register requirements, zero-move mode).
+
+The paper's headline: with four identical threads per PU, the balanced
+private/shared split needs substantially fewer registers than four
+standalone Chaitin allocations (their average saving: 24%; the shape to
+check is positive savings everywhere, largest for internal-heavy kernels).
+
+Run with::
+
+    pytest benchmarks/bench_fig14.py --benchmark-only -s
+"""
+
+from benchmarks._util import publish
+from repro.harness.fig14 import average_saving, render_fig14, run_fig14
+
+
+def test_fig14(benchmark):
+    rows = benchmark.pedantic(run_fig14, rounds=1, iterations=1)
+    assert len(rows) == 11
+    for r in rows:
+        # Sharing never needs more registers than disjoint partitions.
+        assert r.multithread_total <= r.baseline_total
+    assert average_saving(rows) > 0.05
+    publish("fig14", render_fig14(rows))

@@ -1,0 +1,21 @@
+"""Regenerate paper Table 1 (benchmark application properties).
+
+Run with::
+
+    pytest benchmarks/bench_table1.py --benchmark-only -s
+
+The rendered table is also written to ``benchmarks/out/table1.txt``.
+"""
+
+from benchmarks._util import publish
+from repro.harness.table1 import render_table1, run_table1
+
+
+def test_table1(benchmark):
+    rows = benchmark.pedantic(
+        lambda: run_table1(packets=8), rounds=1, iterations=1
+    )
+    assert len(rows) == 11
+    for r in rows:
+        assert r.reg_p_csb_max <= r.max_pr <= r.max_r
+    publish("table1", render_table1(rows))

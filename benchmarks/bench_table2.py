@@ -1,0 +1,23 @@
+"""Regenerate paper Table 2 (move insertion in the extreme case).
+
+Every benchmark is forced to its minimal register allocation
+(``PR = RegPCSBmax``, ``R = RegPmax``); the splitting allocator's move
+count is reported as a fraction of code size.  Paper shape: mostly within
+10% overhead -- far cheaper than spilling.
+
+Run with::
+
+    pytest benchmarks/bench_table2.py --benchmark-only -s
+"""
+
+from benchmarks._util import publish
+from repro.harness.table2 import render_table2, run_table2
+
+
+def test_table2(benchmark):
+    rows = benchmark.pedantic(run_table2, rounds=1, iterations=1)
+    assert len(rows) == 11
+    overheads = [r.overhead for r in rows]
+    # Shape check: the typical kernel needs few or no moves.
+    assert sorted(overheads)[len(overheads) // 2] <= 0.10
+    publish("table2", render_table2(rows))

@@ -1,0 +1,45 @@
+"""Regenerate paper Table 3 (the three ARA scenarios).
+
+Each scenario compares the fixed-32-register-window spilling baseline
+against the inter-thread sharing allocator on the cycle-level simulator.
+Paper shape: the register-hungry threads speed up by double digits while
+donor threads change only marginally; all runs are verified against the
+virtual-register reference semantics.
+
+Run with::
+
+    pytest benchmarks/bench_table3.py --benchmark-only -s
+"""
+
+import pytest
+
+from benchmarks._util import publish
+from repro.harness.table3 import SCENARIOS, render_table3, run_scenario
+
+#: The register-hungry thread names per scenario.
+CRITICAL = {
+    "md5+fir2dim": {"md5"},
+    "l2l3fwd+md5": {"md5"},
+    "wraps+fir2dim+frag": {"wraps_recv", "wraps_send"},
+}
+
+
+@pytest.mark.parametrize("label", list(SCENARIOS))
+def test_table3_scenario(benchmark, label):
+    names = SCENARIOS[label]
+    sc = benchmark.pedantic(
+        lambda: run_scenario(label, names, packets=40),
+        rounds=1,
+        iterations=1,
+    )
+    assert sc.verified, "allocated runs diverged from reference semantics"
+    for t in sc.threads:
+        if t.name in CRITICAL[label]:
+            assert t.cycle_change < -0.03, (
+                f"{t.name} should speed up clearly with sharing"
+            )
+        else:
+            assert abs(t.cycle_change) < 0.08, (
+                f"donor {t.name} should change only marginally"
+            )
+    publish(f"table3_{label.replace('+', '_')}", render_table3([sc]))

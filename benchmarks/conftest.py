@@ -1,0 +1,9 @@
+"""Benchmark-tree configuration.
+
+Each ``bench_*`` module regenerates one table or figure of the paper under
+pytest-benchmark and prints the rendered rows once, so
+
+    pytest benchmarks/ --benchmark-only -s
+
+both times the experiment pipelines and shows the reproduced artifacts.
+"""

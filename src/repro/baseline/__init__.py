@@ -1,0 +1,30 @@
+"""Baseline single-thread register allocation (Chaitin style).
+
+This is the comparator the paper measures against: each thread gets a
+fixed, disjoint window of the register file (32 registers on the IXP1200)
+and an ordinary graph-coloring allocator that *spills* when the window is
+too small.  On a network processor every spill is a ~20-cycle memory
+operation that also relinquishes the PU, which is exactly why the paper's
+shared-register allocation wins.
+
+* :mod:`repro.baseline.chaitin` -- simplify/select coloring with
+  spill-candidate choice and iterative spill-code insertion.
+* :mod:`repro.baseline.single_thread` -- helpers: minimal register count
+  of a standalone thread, and whole-PU baseline allocation with fixed
+  per-thread windows.
+"""
+
+from repro.baseline.chaitin import ChaitinResult, chaitin_allocate
+from repro.baseline.single_thread import (
+    BaselinePuAllocation,
+    allocate_pu_baseline,
+    single_thread_register_count,
+)
+
+__all__ = [
+    "ChaitinResult",
+    "chaitin_allocate",
+    "single_thread_register_count",
+    "BaselinePuAllocation",
+    "allocate_pu_baseline",
+]

@@ -1,0 +1,280 @@
+"""Chaitin-style graph-coloring register allocation with spilling.
+
+The classic loop [Chaitin 1982]:
+
+1. build the interference graph over virtual registers;
+2. **simplify**: repeatedly remove nodes of degree < K; when none exists,
+   remove the node with the smallest spill priority
+   (``occurrences / degree``) as a *potential spill*;
+3. **select**: pop the stack, assigning each node a color unused by its
+   colored neighbors; a potential spill that finds no color becomes an
+   *actual spill*;
+4. insert spill code for actual spills and restart.
+
+Spill code matches how IXP microcode must address memory (the address
+travels in a register)::
+
+    movi %sp.addr, <slot>         ; 1 cycle
+    load %v.u7, [%sp.addr]        ; ~20 cycles, relinquishes the PU
+
+so every reload/writeback is a context-switch boundary -- the property
+Table 3 of the paper exploits.  Each spilled value gets a dedicated slot
+in a per-thread spill area.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.cfg.edit import ProgramEditor
+from repro.cfg.liveness import co_live_pairs, compute_liveness
+from repro.errors import AllocationError
+from repro.igraph.graph import UndirectedGraph
+from repro.ir.instruction import Instruction
+from repro.ir.opcodes import Opcode
+from repro.ir.operands import Imm, PhysReg, Reg, VirtualReg
+from repro.ir.program import Program
+
+#: Default word address of the spill area (kept clear of packet areas).
+DEFAULT_SPILL_BASE = 0x8000
+
+
+@dataclass
+class ChaitinResult:
+    """Outcome of baseline allocation for one thread."""
+
+    program: Program
+    colors_used: int
+    spilled: List[VirtualReg]
+    spill_loads: int
+    spill_stores: int
+    rounds: int
+
+    @property
+    def spill_ops(self) -> int:
+        return self.spill_loads + self.spill_stores
+
+
+def _build_graph(program: Program) -> UndirectedGraph:
+    liveness = compute_liveness(program)
+    graph = UndirectedGraph()
+    for instr in program.instrs:
+        for reg in instr.regs:
+            graph.add_node(reg)
+    for a, b in co_live_pairs(liveness):
+        graph.add_edge(a, b)
+    return graph
+
+
+def _occurrences(program: Program) -> Dict[Reg, int]:
+    """Loop-depth-weighted access frequency per register.
+
+    An access at nesting depth ``d`` counts ``10**d`` (capped), the
+    classic Chaitin spill-cost estimate, so loop-carried values are not
+    spilled in favour of straight-line ones.
+    """
+    from repro.cfg.loops import loop_depth
+
+    depths = loop_depth(program)
+    out: Dict[Reg, int] = {}
+    for i, instr in enumerate(program.instrs):
+        weight = 10 ** min(depths[i], 4)
+        for reg in instr.regs:
+            out[reg] = out.get(reg, 0) + weight
+    return out
+
+
+def _simplify_select(
+    graph: UndirectedGraph, k: int, occurrences: Dict[Reg, int]
+) -> Tuple[Dict[Reg, int], List[Reg]]:
+    """One coloring attempt: returns (coloring, actual_spills)."""
+    work = graph.copy()
+    remaining: Set[Reg] = set(work.nodes())
+    stack: List[Tuple[Reg, bool]] = []  # (node, is_potential_spill)
+    while remaining:
+        trivial = [n for n in remaining if work.degree(n) < k]
+        if trivial:
+            node = min(trivial, key=str)
+            stack.append((node, False))
+        else:
+            node = min(
+                remaining,
+                key=lambda n: (
+                    occurrences.get(n, 0) / max(work.degree(n), 1),
+                    str(n),
+                ),
+            )
+            stack.append((node, True))
+        work.remove_node(node)
+        remaining.discard(node)
+
+    coloring: Dict[Reg, int] = {}
+    spills: List[Reg] = []
+    for node, potential in reversed(stack):
+        used = {
+            coloring[nbr]
+            for nbr in graph.neighbor_set(node)
+            if nbr in coloring
+        }
+        color = next((c for c in range(k) if c not in used), None)
+        if color is None:
+            if not potential:
+                raise AllocationError(
+                    f"non-spill node {node} failed to color (k={k})"
+                )
+            spills.append(node)
+        else:
+            coloring[node] = color
+    return coloring, spills
+
+
+def _insert_spill_code(
+    program: Program,
+    spills: Sequence[VirtualReg],
+    slot_of: Dict[VirtualReg, int],
+) -> Tuple[Program, int, int]:
+    """Rewrite ``program`` with loads/stores around every spilled access."""
+    editor = ProgramEditor(program)
+    n_loads = 0
+    n_stores = 0
+    new_instrs: Dict[int, Instruction] = {}
+    spill_set = set(spills)
+    for i, instr in enumerate(program.instrs):
+        used = [r for r in instr.uses if r in spill_set]
+        defined = [r for r in instr.defs if r in spill_set]
+        if not used and not defined:
+            continue
+        mapping: Dict[Reg, Reg] = {}
+        pre: List[Instruction] = []
+        post: List[Instruction] = []
+        for reg in sorted(set(used), key=str):
+            tmp = VirtualReg(f"{reg.name}.u{i}")
+            addr = VirtualReg(f"{reg.name}.ua{i}")
+            pre.append(Instruction(Opcode.MOVI, (addr, Imm(slot_of[reg]))))
+            pre.append(Instruction(Opcode.LOAD, (tmp, addr, Imm(0))))
+            mapping[reg] = tmp
+            n_loads += 1
+        for reg in sorted(set(defined), key=str):
+            tmp = mapping.get(reg, VirtualReg(f"{reg.name}.d{i}"))
+            addr = VirtualReg(f"{reg.name}.da{i}")
+            post.append(Instruction(Opcode.MOVI, (addr, Imm(slot_of[reg]))))
+            post.append(Instruction(Opcode.STORE, (tmp, addr, Imm(0))))
+            mapping[reg] = tmp
+            n_stores += 1
+        new_instrs[i] = instr.substitute_regs(mapping)
+        if pre:
+            editor.insert_before(i, pre)
+        if post:
+            editor.insert_after(i, post)
+    # Substitute operands first (indices unchanged), then commit inserts.
+    for i, instr in new_instrs.items():
+        program.instrs[i] = instr
+    return editor.commit(), n_loads, n_stores
+
+
+def spill_until_colorable(
+    program: Program,
+    k: int,
+    spill_base: int = DEFAULT_SPILL_BASE,
+    max_rounds: int = 64,
+) -> Tuple[Program, Dict[Reg, int], "ChaitinStats"]:
+    """Insert spill code until the program is ``k``-colorable.
+
+    Returns the (still virtual-register) program, a valid coloring into
+    ``[0, k)``, and the spill statistics.  This is the reusable half of
+    :func:`chaitin_allocate`; the cross-thread allocator's spill fallback
+    also uses it to relieve a thread whose lower bounds exceed its share
+    of the register file.
+    """
+    current = program.copy()
+    all_spilled: List[VirtualReg] = []
+    slot_of: Dict[VirtualReg, int] = {}
+    next_slot = spill_base
+    total_loads = 0
+    total_stores = 0
+    unspillable: set = set()
+    for round_no in range(1, max_rounds + 1):
+        graph = _build_graph(current)
+        occurrences = _occurrences(current)
+        coloring, spills = _simplify_select(graph, k, occurrences)
+        if not spills:
+            stats = ChaitinStats(
+                spilled=all_spilled,
+                spill_loads=total_loads,
+                spill_stores=total_stores,
+                rounds=round_no,
+            )
+            return current, coloring, stats
+        # Spill temps have atomic live ranges already; re-spilling one
+        # means k is below the program's per-instruction register need
+        # and no amount of spilling can help.
+        fresh = [
+            r
+            for r in spills
+            if isinstance(r, VirtualReg) and r.name not in unspillable
+        ]
+        if not fresh:
+            raise AllocationError(
+                f"{program.name}: not colorable with k={k} even after "
+                f"spilling everything (an instruction needs more than "
+                f"{k} registers at once)"
+            )
+        for reg in fresh:
+            if reg not in slot_of:
+                slot_of[reg] = next_slot
+                next_slot += 1
+            all_spilled.append(reg)
+        before = {r.name for r in current.virtual_regs()}
+        current, n_loads, n_stores = _insert_spill_code(
+            current, fresh, slot_of
+        )
+        unspillable |= {
+            r.name for r in current.virtual_regs() if r.name not in before
+        }
+        total_loads += n_loads
+        total_stores += n_stores
+    raise AllocationError(
+        f"{program.name}: spilling failed to converge in {max_rounds} rounds"
+    )
+
+
+@dataclass
+class ChaitinStats:
+    """Spill statistics shared by both entry points."""
+
+    spilled: List[VirtualReg]
+    spill_loads: int
+    spill_stores: int
+    rounds: int
+
+
+def chaitin_allocate(
+    program: Program,
+    k: int,
+    phys_base: int = 0,
+    spill_base: int = DEFAULT_SPILL_BASE,
+    max_rounds: int = 64,
+) -> ChaitinResult:
+    """Allocate ``program`` into ``k`` physical registers
+    ``$r[phys_base] .. $r[phys_base + k - 1]``, spilling as needed."""
+    current, coloring, stats = spill_until_colorable(
+        program, k, spill_base=spill_base, max_rounds=max_rounds
+    )
+    mapping: Dict[Reg, Reg] = {
+        reg: PhysReg(phys_base + color) for reg, color in coloring.items()
+    }
+    out = Program(
+        name=current.name,
+        instrs=[instr.substitute_regs(mapping) for instr in current.instrs],
+        labels=dict(current.labels),
+    )
+    colors_used = len(set(coloring.values())) if coloring else 0
+    return ChaitinResult(
+        program=out,
+        colors_used=colors_used,
+        spilled=stats.spilled,
+        spill_loads=stats.spill_loads,
+        spill_stores=stats.spill_stores,
+        rounds=stats.rounds,
+    )

@@ -1,0 +1,32 @@
+"""Control-flow analyses over npir programs.
+
+* :mod:`repro.cfg.blocks` -- basic-block partitioning.
+* :mod:`repro.cfg.liveness` -- per-instruction liveness and register
+  pressure.
+* :mod:`repro.cfg.nsr` -- non-switch regions and the boundary/internal
+  classification of live ranges (section 3.1 of the paper).
+* :mod:`repro.cfg.edit` -- program editing: instruction insertion with
+  label fix-up, and control-flow edge splitting.
+"""
+
+from repro.cfg.blocks import BasicBlock, build_blocks
+from repro.cfg.liveness import Liveness, compute_liveness
+from repro.cfg.loops import Loop, loop_depth, natural_loops
+from repro.cfg.nsr import NsrInfo, compute_nsr
+from repro.cfg.edit import ProgramEditor, insert_on_edge
+from repro.cfg.webs import rename_webs
+
+__all__ = [
+    "BasicBlock",
+    "build_blocks",
+    "Liveness",
+    "compute_liveness",
+    "Loop",
+    "natural_loops",
+    "loop_depth",
+    "NsrInfo",
+    "compute_nsr",
+    "ProgramEditor",
+    "insert_on_edge",
+    "rename_webs",
+]

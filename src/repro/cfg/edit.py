@@ -1,0 +1,231 @@
+"""Structural program editing: batched insertion and edge splitting.
+
+Splitting passes and spill-code insertion both need to drop instructions
+into an existing program without corrupting labels or branch targets.  The
+:class:`ProgramEditor` records edits against *original* instruction indices
+and applies them all at once, so callers never reason about shifting
+positions.
+
+Two insertion modes exist because an insertion point may carry a label:
+
+* ``ALL_PATHS`` -- the inserted code runs whenever control reaches the
+  original instruction, whether by fallthrough or by jump.  Physically the
+  code sits *after* the label.
+* ``FALLTHROUGH_ONLY`` -- the inserted code runs only when control falls in
+  from the previous instruction; jumps to the label skip it.  Physically
+  the code sits *before* the label.
+
+Edge insertion (:meth:`ProgramEditor.insert_on_edge`) places code on one
+control-flow edge ``(i, j)``.  Fallthrough edges become a
+``FALLTHROUGH_ONLY`` insertion at ``j``; branch edges whose target has no
+other predecessor become an ``ALL_PATHS`` insertion at ``j``; remaining
+branch edges are split with a trampoline block appended at the end of the
+program (``Lnew: <code>; br Lj``) and the branch retargeted to ``Lnew``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ValidationError
+from repro.ir.instruction import Instruction
+from repro.ir.opcodes import Opcode
+from repro.ir.operands import Label
+from repro.ir.program import Program
+
+
+class InsertMode(enum.Enum):
+    ALL_PATHS = "all_paths"
+    FALLTHROUGH_ONLY = "fallthrough_only"
+
+
+@dataclass
+class _Insertion:
+    index: int
+    mode: InsertMode
+    instrs: List[Instruction]
+    seq: int  # submission order, to keep same-slot insertions stable
+
+
+class ProgramEditor:
+    """Collects edits against a program and applies them in one commit.
+
+    All indices passed to the edit methods refer to the program as it was
+    when the editor was created.  ``commit()`` returns a fresh
+    :class:`Program`; the original is never mutated.
+    """
+
+    def __init__(self, program: Program):
+        self.program = program
+        self._insertions: List[_Insertion] = []
+        self._trampolines: List[Tuple[int, List[Instruction], int]] = []
+        self._seq = 0
+        self._preds: Optional[List[List[int]]] = None
+
+    # ------------------------------------------------------------------
+    # Edit recording.
+    # ------------------------------------------------------------------
+    def insert_before(
+        self,
+        index: int,
+        instrs: Sequence[Instruction],
+        mode: InsertMode = InsertMode.ALL_PATHS,
+    ) -> None:
+        """Insert ``instrs`` immediately before original instruction ``index``."""
+        if not 0 <= index < len(self.program.instrs):
+            raise ValidationError(f"insert index {index} out of range")
+        self._insertions.append(
+            _Insertion(index, mode, list(instrs), self._next_seq())
+        )
+
+    def insert_after(self, index: int, instrs: Sequence[Instruction]) -> None:
+        """Insert ``instrs`` on the fallthrough edge leaving ``index``.
+
+        Valid only for instructions that fall through (not unconditional
+        branches or halts); conditional branches get the code on their
+        fallthrough path only.
+        """
+        instr = self.program.instrs[index]
+        if instr.spec.is_halt or (
+            instr.spec.is_branch and not instr.spec.is_cond
+        ):
+            raise ValidationError(
+                f"instruction {index} ({instr.opcode}) never falls through"
+            )
+        if index + 1 >= len(self.program.instrs):
+            raise ValidationError("cannot insert after the last instruction")
+        self.insert_before(index + 1, instrs, InsertMode.FALLTHROUGH_ONLY)
+
+    def insert_on_edge(
+        self, src: int, dst: int, instrs: Sequence[Instruction]
+    ) -> None:
+        """Insert ``instrs`` on the control-flow edge ``src -> dst``."""
+        succs = self.program.successors(src)
+        if dst not in succs:
+            raise ValidationError(f"no control-flow edge {src} -> {dst}")
+        instr = self.program.instrs[src]
+        is_fallthrough = dst == src + 1 and (
+            not instr.spec.is_branch or instr.spec.is_cond
+        )
+        is_branch_target = instr.spec.is_branch and (
+            self.program.resolve(instr.target.name) == dst
+        )
+        if is_fallthrough and is_branch_target:
+            # Degenerate conditional branch to the next instruction: the
+            # only safe placement is a trampoline on the taken edge plus a
+            # fallthrough insertion; use a trampoline for the whole edge.
+            self._add_trampoline(src, dst, instrs)
+            return
+        if is_fallthrough:
+            self.insert_before(dst, instrs, InsertMode.FALLTHROUGH_ONLY)
+            return
+        # Branch edge.  If dst's only predecessor is src (and dst is not the
+        # entry), code placed on all paths into dst is equivalent and
+        # cheaper than a trampoline.
+        if dst != 0 and self._predecessors(dst) == [src]:
+            self.insert_before(dst, instrs, InsertMode.ALL_PATHS)
+            return
+        self._add_trampoline(src, dst, instrs)
+
+    # ------------------------------------------------------------------
+    # Commit.
+    # ------------------------------------------------------------------
+    def commit(self) -> Program:
+        """Apply all recorded edits and return the new program."""
+        old = self.program
+        n = len(old.instrs)
+
+        retarget: Dict[int, str] = {}
+        tramp_blocks: List[Tuple[str, List[Instruction], str]] = []
+        used_labels = set(old.labels)
+        extra_labels: Dict[int, List[str]] = {}
+        for src, instrs, dst in self._trampolines:
+            names = old.labels_at(dst) + extra_labels.get(dst, [])
+            if names:
+                dst_label = names[0]
+            else:
+                dst_label = self._fresh(f"at.{dst}", used_labels)
+                used_labels.add(dst_label)
+                extra_labels.setdefault(dst, []).append(dst_label)
+            new_label = self._fresh(f"edge.{src}.{dst}", used_labels)
+            used_labels.add(new_label)
+            tramp_blocks.append((new_label, list(instrs), dst_label))
+            retarget[src] = new_label
+
+        by_index: Dict[int, List[_Insertion]] = {}
+        for ins in self._insertions:
+            by_index.setdefault(ins.index, []).append(ins)
+        for groups in by_index.values():
+            groups.sort(key=lambda g: (g.mode is InsertMode.ALL_PATHS, g.seq))
+            # FALLTHROUGH_ONLY first (physically before the label), then
+            # ALL_PATHS, both in submission order.
+
+        new_instrs: List[Instruction] = []
+        new_labels: Dict[str, int] = {}
+        for i in range(n):
+            groups = by_index.get(i, [])
+            for g in groups:
+                if g.mode is InsertMode.FALLTHROUGH_ONLY:
+                    new_instrs.extend(g.instrs)
+            for name in old.labels_at(i) + extra_labels.get(i, []):
+                new_labels[name] = len(new_instrs)
+            for g in groups:
+                if g.mode is InsertMode.ALL_PATHS:
+                    new_instrs.extend(g.instrs)
+            instr = old.instrs[i]
+            if i in retarget:
+                instr = instr.with_operands(
+                    tuple(
+                        Label(retarget[i]) if isinstance(op, Label) else op
+                        for op in instr.operands
+                    )
+                )
+            new_instrs.append(instr)
+
+        for name, body, dst_label in tramp_blocks:
+            new_labels[name] = len(new_instrs)
+            new_instrs.extend(body)
+            new_instrs.append(Instruction(Opcode.BR, (Label(dst_label),)))
+
+        return Program(name=old.name, instrs=new_instrs, labels=new_labels)
+
+    # ------------------------------------------------------------------
+    # Internals.
+    # ------------------------------------------------------------------
+    def _next_seq(self) -> int:
+        self._seq += 1
+        return self._seq
+
+    def _predecessors(self, index: int) -> List[int]:
+        if self._preds is None:
+            preds: List[List[int]] = [[] for _ in self.program.instrs]
+            for i in range(len(self.program.instrs)):
+                for s in self.program.successors(i):
+                    preds[s].append(i)
+            self._preds = preds
+        return self._preds[index]
+
+    def _add_trampoline(
+        self, src: int, dst: int, instrs: Sequence[Instruction]
+    ) -> None:
+        self._trampolines.append((src, list(instrs), dst))
+
+    @staticmethod
+    def _fresh(stem: str, used: set) -> str:
+        if stem not in used:
+            return stem
+        i = 1
+        while f"{stem}.{i}" in used:
+            i += 1
+        return f"{stem}.{i}"
+
+
+def insert_on_edge(
+    program: Program, src: int, dst: int, instrs: Sequence[Instruction]
+) -> Program:
+    """One-shot convenience wrapper around :class:`ProgramEditor`."""
+    editor = ProgramEditor(program)
+    editor.insert_on_edge(src, dst, instrs)
+    return editor.commit()

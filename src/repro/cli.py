@@ -1,0 +1,276 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands:
+
+``analyze FILE...``
+    Per-thread analysis report: NSRs, boundary/internal classification,
+    register-need bounds.
+``allocate FILE... [--nreg N] [-o DIR]``
+    Run the cross-thread allocator; print the summary and (optionally)
+    write the rewritten assembly per thread into DIR.
+``run FILE... [--nreg N] [--packets P] [--allocated]``
+    Simulate the threads over synthetic packet queues.  With
+    ``--allocated`` the programs are first register-allocated, executed
+    under the paranoid safety checker, and verified against the
+    virtual-register reference run.
+``encode FILE [-o OUT]``
+    Assemble an allocated (physical-register) program to 64-bit machine
+    words (hex, one per line).
+``bench {table1,table2,table3,fig14}``
+    Regenerate one of the paper's tables/figures.
+``suite``
+    List the built-in benchmark kernels with basic properties.
+
+Files are npir assembly; the special name ``bench:<name>`` loads a
+built-in benchmark instead (e.g. ``bench:md5``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+from typing import List, Optional, Sequence
+
+from repro.core.analysis import analyze_thread
+from repro.core.bounds import estimate_bounds
+from repro.core.pipeline import allocate_programs
+from repro.ir.encoding import encode_program
+from repro.ir.parser import parse_program
+from repro.ir.printer import format_program
+from repro.ir.program import Program
+from repro.ir.validate import validate_program
+from repro.sim.run import outputs_match, run_reference, run_threads
+from repro.suite.registry import BENCHMARKS, load
+
+
+def _load_program(spec: str) -> Program:
+    if spec.startswith("bench:"):
+        return load(spec[len("bench:"):])
+    path = pathlib.Path(spec)
+    if path.suffix == ".npc":
+        from repro.npc import compile_source
+
+        return compile_source(path.read_text(), path.stem)
+    program = parse_program(path.read_text(), path.stem)
+    validate_program(program)
+    return program
+
+
+def _load_all(specs: Sequence[str]) -> List[Program]:
+    return [_load_program(s) for s in specs]
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    for spec in args.files:
+        program = _load_program(spec)
+        analysis = analyze_thread(program)
+        bounds = estimate_bounds(analysis)
+        print(f"== {program.name} ==")
+        print(f"instructions:        {len(program.instrs)}")
+        csb = program.count_csb()
+        print(
+            f"CSB instructions:    {csb} "
+            f"({100.0 * csb / len(program.instrs):.1f}%)"
+        )
+        print(f"live ranges:         {len(analysis.all_regs)}")
+        print(f"non-switch regions:  {analysis.nsr.n_regions}")
+        print(f"avg region size:     {analysis.nsr.average_region_size():.1f}")
+        print(f"boundary ranges:     {len(analysis.nsr.boundary)}")
+        print(f"internal ranges:     {len(analysis.nsr.internal)}")
+        print(f"bounds:              {bounds}")
+        if args.chart:
+            from repro.harness.describe import live_range_chart
+
+            print()
+            print(live_range_chart(analysis))
+        if args.nsr:
+            from repro.harness.describe import nsr_map
+
+            print()
+            print(nsr_map(analysis))
+        print()
+    return 0
+
+
+def cmd_allocate(args: argparse.Namespace) -> int:
+    programs = _load_all(args.files)
+    outcome = allocate_programs(programs, nreg=args.nreg)
+    print(outcome.summary())
+    if args.output:
+        out_dir = pathlib.Path(args.output)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        for tid, program in enumerate(outcome.programs):
+            path = out_dir / f"{tid}_{program.name}.npir"
+            path.write_text(format_program(program))
+            print(f"wrote {path}")
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    programs = _load_all(args.files)
+    if args.allocated:
+        outcome = allocate_programs(programs, nreg=args.nreg)
+        result = run_threads(
+            outcome.programs,
+            packets_per_thread=args.packets,
+            nreg=args.nreg,
+            assignment=outcome.assignment,
+        )
+        reference = run_reference(programs, packets_per_thread=args.packets)
+        verified = outputs_match(reference, result)
+        print(f"allocated run verified against reference: {verified}")
+        if not verified:
+            return 1
+    else:
+        result = run_threads(
+            programs, packets_per_thread=args.packets, nreg=args.nreg
+        )
+    stats = result.stats
+    print(f"cycles: {stats.cycles}  utilization: {stats.utilization():.0%}")
+    for tid, t in enumerate(stats.threads):
+        print(
+            f"  thread {tid} ({programs[tid].name}): "
+            f"{t.iterations} packets, {t.instructions} instructions, "
+            f"{t.cycles_per_iteration():.1f} wall cyc/packet"
+        )
+    return 0
+
+
+def cmd_compile(args: argparse.Namespace) -> int:
+    from repro.npc import compile_source
+
+    source = pathlib.Path(args.file).read_text()
+    program = compile_source(
+        source,
+        pathlib.Path(args.file).stem,
+        optimize=not args.no_opt,
+    )
+    text = format_program(program)
+    if args.output:
+        pathlib.Path(args.output).write_text(text)
+        print(f"wrote {len(program.instrs)} instructions to {args.output}")
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
+def cmd_encode(args: argparse.Namespace) -> int:
+    program = _load_program(args.file)
+    if program.virtual_regs():
+        print(
+            "error: program uses virtual registers; allocate it first "
+            "(repro allocate ... -o DIR)",
+            file=sys.stderr,
+        )
+        return 1
+    words = encode_program(program)
+    text = "\n".join(f"{w:016x}" for w in words) + "\n"
+    if args.output:
+        pathlib.Path(args.output).write_text(text)
+        print(f"wrote {len(words)} words to {args.output}")
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    if args.experiment == "table1":
+        from repro.harness.table1 import render_table1, run_table1
+
+        print(render_table1(run_table1()))
+    elif args.experiment == "table2":
+        from repro.harness.table2 import render_table2, run_table2
+
+        print(render_table2(run_table2()))
+    elif args.experiment == "table3":
+        from repro.harness.table3 import render_table3, run_table3
+
+        print(render_table3(run_table3()))
+    else:
+        from repro.harness.fig14 import render_fig14, run_fig14
+
+        print(render_fig14(run_fig14()))
+    return 0
+
+
+def cmd_suite(args: argparse.Namespace) -> int:
+    print(f"{'name':14} {'instrs':>6} {'CSB%':>5}")
+    for name in BENCHMARKS:
+        program = load(name)
+        density = 100.0 * program.count_csb() / len(program.instrs)
+        print(f"{name:14} {len(program.instrs):6} {density:5.1f}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Balancing register allocation across threads for a "
+            "multithreaded network processor (PLDI 2004) -- reproduction."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("analyze", help="per-thread analysis report")
+    p.add_argument("files", nargs="+")
+    p.add_argument(
+        "--chart", action="store_true", help="print the live-range chart"
+    )
+    p.add_argument(
+        "--nsr", action="store_true", help="print the NSR-annotated listing"
+    )
+    p.set_defaults(func=cmd_analyze)
+
+    p = sub.add_parser("allocate", help="cross-thread register allocation")
+    p.add_argument("files", nargs="+")
+    p.add_argument("--nreg", type=int, default=128)
+    p.add_argument("-o", "--output", help="directory for rewritten assembly")
+    p.set_defaults(func=cmd_allocate)
+
+    p = sub.add_parser("run", help="simulate threads over packet queues")
+    p.add_argument("files", nargs="+")
+    p.add_argument("--nreg", type=int, default=128)
+    p.add_argument("--packets", type=int, default=16)
+    p.add_argument(
+        "--allocated",
+        action="store_true",
+        help="allocate first, verify against the reference run",
+    )
+    p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser("compile", help="compile npc source to npir assembly")
+    p.add_argument("file")
+    p.add_argument("-o", "--output")
+    p.add_argument(
+        "--no-opt", action="store_true", help="skip the optimizer passes"
+    )
+    p.set_defaults(func=cmd_compile)
+
+    p = sub.add_parser("encode", help="assemble to 64-bit machine words")
+    p.add_argument("file")
+    p.add_argument("-o", "--output")
+    p.set_defaults(func=cmd_encode)
+
+    p = sub.add_parser("bench", help="regenerate a paper table/figure")
+    p.add_argument(
+        "experiment", choices=["table1", "table2", "table3", "fig14"]
+    )
+    p.set_defaults(func=cmd_bench)
+
+    p = sub.add_parser("suite", help="list built-in benchmarks")
+    p.set_defaults(func=cmd_suite)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:  # e.g. piped into `head`
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,246 @@
+"""The greedy inter-thread register allocator (paper section 6, Figure 8).
+
+Starting from every thread's upper bounds ``(MaxPR_i, MaxSR_i)`` the loop
+reduces the global requirement ``sum_i PR_i + max_i SR_i`` one register at
+a time until it fits ``Nreg``:
+
+* reducing ``PR_i`` of any one thread lowers the sum directly;
+* reducing SR lowers the max only when *every* thread currently at the max
+  reduces together (and only if each of them can).
+
+Each candidate direction is *probed* by the threads' intra-thread
+allocators, which report the move-instruction cost of the reduced context;
+the loop commits the direction with the smallest cost increase.  Probes are
+cached: committing a reduction to thread ``i`` invalidates only thread
+``i``'s probes, which is what makes the paper's incremental-context scheme
+pay off.
+
+``zero_cost_only`` implements the Figure-14 experiment: keep reducing only
+while some direction costs no moves at all, ignoring the register budget;
+the end state is the smallest no-move register requirement.
+
+``policy="round_robin"`` is an ablation: instead of probing costs it
+reduces the widest thread's PR (then SR) blindly, so benchmarks can show
+what the cost-probing buys.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.analysis import ThreadAnalysis
+from repro.core.bounds import Bounds
+from repro.core.context import AllocContext
+from repro.core.intra import IntraAllocator, ReduceResult
+from repro.errors import AllocationError
+
+
+@dataclass
+class ThreadAllocation:
+    """Final per-thread allocation facts."""
+
+    analysis: ThreadAnalysis
+    bounds: Bounds
+    pr: int
+    sr: int
+    context: AllocContext
+    move_cost: int
+
+    @property
+    def r(self) -> int:
+        return self.pr + self.sr
+
+    @property
+    def name(self) -> str:
+        return self.analysis.program.name
+
+
+@dataclass
+class InterThreadResult:
+    """Outcome of the inter-thread allocation across one PU."""
+
+    threads: List[ThreadAllocation]
+    nreg: int
+
+    @property
+    def sgr(self) -> int:
+        """Globally shared registers: the max of per-thread SR demands."""
+        return max((t.sr for t in self.threads), default=0)
+
+    @property
+    def total_private(self) -> int:
+        return sum(t.pr for t in self.threads)
+
+    @property
+    def total_registers(self) -> int:
+        return self.total_private + self.sgr
+
+    @property
+    def total_moves(self) -> int:
+        return sum(t.move_cost for t in self.threads)
+
+    def fits(self) -> bool:
+        return self.total_registers <= self.nreg
+
+
+def allocate_threads(
+    analyses: Sequence[ThreadAnalysis],
+    nreg: int,
+    zero_cost_only: bool = False,
+    policy: str = "greedy",
+) -> InterThreadResult:
+    """Run the Figure-8 loop over one PU's threads.
+
+    Args:
+        analyses: one :class:`ThreadAnalysis` per hardware thread.
+        nreg: total physical registers of the PU.
+        zero_cost_only: Figure-14 mode -- reduce only while free, ignore
+            ``nreg``.
+        policy: ``"greedy"`` (paper) or ``"round_robin"`` (ablation).
+
+    Raises:
+        AllocationError: the programs cannot fit ``nreg`` registers even at
+            their lower bounds.
+    """
+    if policy not in ("greedy", "round_robin"):
+        raise ValueError(f"unknown policy {policy!r}")
+    allocators = [IntraAllocator(a) for a in analyses]
+    nthd = len(allocators)
+
+    def prs() -> List[int]:
+        return [al.context.pr for al in allocators]
+
+    def srs() -> List[int]:
+        return [al.context.sr for al in allocators]
+
+    def requirement() -> int:
+        return sum(prs()) + (max(srs()) if allocators else 0)
+
+    # Probe caches: thread index -> ReduceResult (or None if infeasible).
+    pr_cache: Dict[int, Optional[ReduceResult]] = {}
+    sr_cache: Dict[int, Optional[ReduceResult]] = {}
+    shift_cache: Dict[int, Optional[ReduceResult]] = {}
+
+    def probe_pr(i: int) -> Optional[ReduceResult]:
+        if i not in pr_cache:
+            pr_cache[i] = allocators[i].probe_reduce_pr()
+        return pr_cache[i]
+
+    def probe_sr(i: int) -> Optional[ReduceResult]:
+        if i not in sr_cache:
+            sr_cache[i] = allocators[i].probe_reduce_sr()
+        return sr_cache[i]
+
+    def probe_shift(i: int) -> Optional[ReduceResult]:
+        if i not in shift_cache:
+            shift_cache[i] = allocators[i].probe_shift()
+        return shift_cache[i]
+
+    def invalidate(i: int) -> None:
+        pr_cache.pop(i, None)
+        sr_cache.pop(i, None)
+        shift_cache.pop(i, None)
+
+    max_steps = sum(b.bounds.max_r for b in allocators) + nthd + 8
+    for _ in range(max_steps):
+        if not zero_cost_only and requirement() <= nreg:
+            break
+
+        candidates: List[Tuple[int, str, int, List[ReduceResult]]] = []
+        cur_srs = srs()
+        max_sr = max(cur_srs) if cur_srs else 0
+
+        # Probe threads with the most slack above their lower bounds
+        # first: their reductions are the likeliest to be free, and a
+        # zero-cost candidate is unbeatable, so probing can stop there
+        # (cached probes keep later iterations cheap either way).
+        order = sorted(
+            range(nthd),
+            key=lambda i: (
+                allocators[i].bounds.min_pr - allocators[i].context.pr,
+                i,
+            ),
+        )
+        found_free = False
+        for i in order:
+            # Candidate: shift one thread's private color into the shared
+            # range.  Free in total registers whenever the thread's SR is
+            # strictly below the global max (the shared pool already has
+            # the extra register), and usually cheaper than a PR
+            # reduction, since only boundary pieces must vacate the color.
+            if cur_srs[i] < max_sr:
+                res = probe_shift(i)
+                if res is not None:
+                    delta = res.cost - allocators[i].context.move_cost()
+                    candidates.append((delta, "shift", i, [res]))
+                    if delta <= 0:
+                        found_free = True
+                        break
+            # Candidate: reduce this thread's PR outright.
+            res = probe_pr(i)
+            if res is not None:
+                delta = res.cost - allocators[i].context.move_cost()
+                candidates.append((delta, "pr", i, [res]))
+                if delta <= 0:
+                    found_free = True
+                    break
+
+        # Candidate: reduce SR of every thread at the current max.
+        if max_sr > 0 and not found_free:
+            at_max = [i for i in range(nthd) if cur_srs[i] == max_sr]
+            results = [probe_sr(i) for i in at_max]
+            if all(r is not None for r in results):
+                delta = sum(
+                    r.cost - allocators[i].context.move_cost()  # type: ignore[union-attr]
+                    for i, r in zip(at_max, results)
+                )
+                candidates.append((delta, "sr", -1, results))  # type: ignore[arg-type]
+
+        if not candidates:
+            if zero_cost_only:
+                break
+            raise AllocationError(
+                f"cannot fit {requirement()} required registers into "
+                f"{nreg}: all reductions are at their lower bounds"
+            )
+
+        if policy == "round_robin":
+            # Ablation: ignore costs, prefer shrinking the widest PR.
+            pr_cands = [c for c in candidates if c[1] == "pr"]
+            if pr_cands:
+                chosen = max(pr_cands, key=lambda c: prs()[c[2]])
+            else:
+                chosen = candidates[-1]
+        else:
+            chosen = min(candidates, key=lambda c: (c[0], c[1], c[2]))
+
+        delta, kind, idx, results = chosen
+        if zero_cost_only and delta > 0:
+            break
+        if kind in ("pr", "shift"):
+            allocators[idx].commit(results[0])
+            invalidate(idx)
+        else:
+            at_max = [i for i in range(nthd) if srs()[i] == max_sr]
+            for i, res in zip(at_max, results):
+                allocators[i].commit(res)
+                invalidate(i)
+    else:
+        if not zero_cost_only and requirement() > nreg:
+            raise AllocationError(
+                "inter-thread reduction failed to converge"
+            )
+
+    threads = [
+        ThreadAllocation(
+            analysis=al.analysis,
+            bounds=al.bounds,
+            pr=al.context.pr,
+            sr=al.context.sr,
+            context=al.context,
+            move_cost=al.context.move_cost(),
+        )
+        for al in allocators
+    ]
+    return InterThreadResult(threads=threads, nreg=nreg)

@@ -1,0 +1,169 @@
+"""One-call public API: allocate a PU's threads end to end.
+
+:func:`allocate_programs` validates and analyses every thread program,
+runs the inter-thread allocator, lays out physical registers and rewrites
+each program.  The returned :class:`AllocationOutcome` carries everything
+downstream consumers need: rewritten programs for the simulator, the
+register layout for the paranoid safety checker, and per-thread statistics
+for the experiment harnesses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.analysis import ThreadAnalysis, analyze_thread
+from repro.core.assign import RegisterAssignment, assign_physical
+from repro.core.bounds import estimate_bounds
+from repro.core.inter import InterThreadResult, allocate_threads
+from repro.core.rewrite import rewrite_program
+from repro.errors import AllocationError
+from repro.ir.program import Program
+from repro.ir.validate import validate_program
+
+
+@dataclass
+class AllocationOutcome:
+    """Everything produced by the full allocation pipeline."""
+
+    source_programs: List[Program]
+    programs: List[Program]
+    analyses: List[ThreadAnalysis]
+    inter: InterThreadResult
+    assignment: RegisterAssignment
+
+    @property
+    def sgr(self) -> int:
+        return self.inter.sgr
+
+    @property
+    def total_registers(self) -> int:
+        return self.inter.total_registers
+
+    @property
+    def total_moves(self) -> int:
+        return self.inter.total_moves
+
+    def summary(self) -> str:
+        lines = [
+            f"Nreg={self.inter.nreg}  total used="
+            f"{self.total_registers}  SGR={self.sgr}  moves={self.total_moves}"
+        ]
+        for t, m in zip(self.inter.threads, self.assignment.maps):
+            lines.append(
+                f"  {t.name}: PR={t.pr} SR={t.sr} "
+                f"private=[{m.private_base}, {m.private_base + m.pr}) "
+                f"moves={t.move_cost}"
+            )
+        return "\n".join(lines)
+
+
+def allocate_programs(
+    programs: Sequence[Program],
+    nreg: int,
+    check_init: bool = True,
+    policy: str = "greedy",
+) -> AllocationOutcome:
+    """Allocate registers for one PU running ``programs`` on its threads.
+
+    Args:
+        programs: one virtual-register program per hardware thread.
+        nreg: the PU's physical register count.
+        check_init: also verify no register is read uninitialised.
+        policy: inter-thread reduction policy (``greedy`` or the
+            ``round_robin`` ablation).
+    """
+    for program in programs:
+        validate_program(program, check_init=check_init)
+    analyses = [analyze_thread(p) for p in programs]
+    inter = allocate_threads(analyses, nreg, policy=policy)
+    assignment = assign_physical(inter)
+    rewritten = [
+        rewrite_program(t.analysis, t.context, m)
+        for t, m in zip(inter.threads, assignment.maps)
+    ]
+    for program in rewritten:
+        validate_program(program, check_init=False)
+    return AllocationOutcome(
+        source_programs=list(programs),
+        programs=rewritten,
+        analyses=analyses,
+        inter=inter,
+        assignment=assignment,
+    )
+
+
+@dataclass
+class HybridOutcome:
+    """Result of :func:`allocate_with_spill_fallback`.
+
+    ``spilled_per_thread`` maps thread index -> number of values the
+    pre-spill pass pushed to memory (empty when no spilling was needed,
+    in which case the result equals a plain :func:`allocate_programs`).
+    """
+
+    outcome: AllocationOutcome
+    spilled_per_thread: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def total_spilled(self) -> int:
+        return sum(self.spilled_per_thread.values())
+
+
+def allocate_with_spill_fallback(
+    programs: Sequence[Program],
+    nreg: int,
+    check_init: bool = True,
+    max_spill_rounds: int = 16,
+) -> HybridOutcome:
+    """Cross-thread allocation with graceful degradation.
+
+    When even the lower bounds of the threads exceed ``nreg`` (the plain
+    pipeline raises :class:`AllocationError`), the hungriest thread is
+    pre-spilled -- Chaitin-style spill code lowers its register pressure
+    while the program stays in virtual registers -- and allocation is
+    retried.  Spills go to per-thread scratch areas; each spill access
+    costs a memory trip, so this is strictly a fallback, but every input
+    that a 3-registers-per-instruction machine can run at all eventually
+    fits.
+    """
+    from repro.baseline.chaitin import (
+        DEFAULT_SPILL_BASE,
+        spill_until_colorable,
+    )
+    from repro.baseline.single_thread import SPILL_AREA_STRIDE
+
+    current = [p.copy() for p in programs]
+    spilled: Dict[int, int] = {}
+    for _ in range(max_spill_rounds):
+        try:
+            outcome = allocate_programs(current, nreg, check_init=check_init)
+            return HybridOutcome(outcome=outcome, spilled_per_thread=spilled)
+        except AllocationError:
+            pass
+        bounds = [
+            estimate_bounds(analyze_thread(p)) for p in current
+        ]
+        # Relieve the thread with the largest private-register floor.
+        idx = max(range(len(current)), key=lambda i: bounds[i].min_pr)
+        target = max(bounds[idx].min_r - 2, 3)
+        if target >= bounds[idx].min_r:
+            raise AllocationError(
+                f"cannot reduce {current[idx].name} below "
+                f"{bounds[idx].min_r} registers"
+            )
+        virtual, _, stats = spill_until_colorable(
+            current[idx],
+            target,
+            spill_base=DEFAULT_SPILL_BASE + idx * SPILL_AREA_STRIDE,
+        )
+        current[idx] = virtual
+        spilled[idx] = spilled.get(idx, 0) + len(set(stats.spilled))
+        if not stats.spilled:
+            raise AllocationError(
+                f"spill fallback made no progress on {current[idx].name}"
+            )
+    raise AllocationError(
+        f"spill fallback did not converge in {max_spill_rounds} rounds"
+    )

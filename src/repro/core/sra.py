@@ -1,0 +1,74 @@
+"""Symmetric register allocation (paper section 8).
+
+When every hardware thread runs the *same* program, the budget constraint
+collapses to ``Nthd * PR + SR <= Nreg`` and the search space is small
+enough to scan exhaustively: for each feasible ``PR`` take the largest
+affordable ``SR`` (more shared registers never hurt), realize the context,
+and keep the cheapest solution by move cost (ties broken toward fewer total
+registers, then larger PR).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.core.analysis import ThreadAnalysis
+from repro.core.bounds import Bounds, estimate_bounds
+from repro.core.context import AllocContext
+from repro.core.intra import IntraAllocator
+from repro.errors import AllocationError
+
+
+@dataclass
+class SymmetricResult:
+    """Chosen symmetric allocation for one program on ``nthd`` threads."""
+
+    analysis: ThreadAnalysis
+    bounds: Bounds
+    nthd: int
+    nreg: int
+    pr: int
+    sr: int
+    context: AllocContext
+    move_cost: int
+
+    @property
+    def total_registers(self) -> int:
+        return self.nthd * self.pr + self.sr
+
+
+def allocate_symmetric(
+    analysis: ThreadAnalysis, nthd: int, nreg: int
+) -> SymmetricResult:
+    """Exhaustively pick the best ``(PR, SR)`` for the SRA problem."""
+    bounds = estimate_bounds(analysis)
+    best: Optional[Tuple[Tuple[int, int, int], SymmetricResult]] = None
+    for pr in range(bounds.min_pr, bounds.max_pr + 1):
+        budget_sr = nreg - nthd * pr
+        if budget_sr < 0:
+            break
+        sr = min(bounds.max_r - pr, budget_sr)
+        if pr + sr < bounds.min_r or sr < 0:
+            continue
+        allocator = IntraAllocator(analysis, bounds)
+        context = allocator.realize(pr, sr)
+        cost = context.move_cost()
+        key = (cost, nthd * pr + sr, -pr)
+        if best is None or key < best[0]:
+            best = (key, SymmetricResult(
+                analysis=analysis,
+                bounds=bounds,
+                nthd=nthd,
+                nreg=nreg,
+                pr=pr,
+                sr=sr,
+                context=context,
+                move_cost=cost,
+            ))
+    if best is None:
+        raise AllocationError(
+            f"{analysis.program.name}: no symmetric allocation fits "
+            f"{nthd} threads in {nreg} registers (bounds {bounds})"
+        )
+    return best[1]

@@ -1,0 +1,46 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures without catching unrelated bugs.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class AsmSyntaxError(ReproError):
+    """A textual assembly program could not be parsed.
+
+    Carries the offending line number (1-based) and the raw line text so
+    that error messages can point at the exact location.
+    """
+
+    def __init__(self, message: str, line_no: int = 0, line: str = ""):
+        self.line_no = line_no
+        self.line = line
+        if line_no:
+            message = f"line {line_no}: {message}: {line.strip()!r}"
+        super().__init__(message)
+
+
+class ValidationError(ReproError):
+    """A program violates a structural rule (bad label, operand kind...)."""
+
+
+class AllocationError(ReproError):
+    """Register allocation failed (infeasible budget, internal conflict)."""
+
+
+class SimulationError(ReproError):
+    """The machine simulator hit an illegal state (bad address, opcode...)."""
+
+
+class SafetyViolation(SimulationError):
+    """A thread touched a register it does not own at a context switch.
+
+    Raised only in the simulator's paranoid mode; it is the dynamic
+    counterpart of the paper's private/shared safety requirement.
+    """

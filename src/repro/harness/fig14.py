@@ -1,0 +1,95 @@
+"""Paper Figure 14: SRA register requirements with a zero-move budget.
+
+For each benchmark running identically on all four threads of a PU:
+
+* bar 1 -- registers a standalone Chaitin allocation uses (``R_single``);
+* bars 2/3 -- the private / shared split ``(PR, SR)`` found by the
+  inter-thread allocator when it reduces only while reductions are free
+  (no move instructions), i.e. the smallest no-move requirement.
+
+The headline number is the total saving of ``Nthd*PR + SR`` against
+``Nthd * R_single`` (the paper reports a 24% average).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.core.analysis import analyze_thread
+from repro.core.inter import allocate_threads
+from repro.baseline.single_thread import single_thread_register_count
+from repro.harness.report import text_table
+from repro.suite.registry import BENCHMARKS, load
+
+
+@dataclass
+class Fig14Row:
+    name: str
+    single_thread_regs: int
+    pr: int
+    sr: int
+    nthd: int
+
+    @property
+    def multithread_total(self) -> int:
+        return self.nthd * self.pr + self.sr
+
+    @property
+    def baseline_total(self) -> int:
+        return self.nthd * self.single_thread_regs
+
+    @property
+    def saving(self) -> float:
+        if self.baseline_total == 0:
+            return 0.0
+        return 1.0 - self.multithread_total / self.baseline_total
+
+
+def run_fig14(
+    names: Optional[Sequence[str]] = None,
+    nthd: int = 4,
+    nreg: int = 128,
+) -> List[Fig14Row]:
+    """Compute every Figure-14 data point."""
+    rows: List[Fig14Row] = []
+    for name in names or list(BENCHMARKS):
+        program = load(name)
+        single = single_thread_register_count(program)
+        analyses = [analyze_thread(load(name)) for _ in range(nthd)]
+        result = allocate_threads(analyses, nreg=nreg, zero_cost_only=True)
+        prs = sorted(t.pr for t in result.threads)
+        rows.append(
+            Fig14Row(
+                name=name,
+                single_thread_regs=single,
+                pr=prs[-1],
+                sr=result.sgr,
+                nthd=nthd,
+            )
+        )
+    return rows
+
+
+def average_saving(rows: Sequence[Fig14Row]) -> float:
+    if not rows:
+        return 0.0
+    return sum(r.saving for r in rows) / len(rows)
+
+
+def render_fig14(rows: Sequence[Fig14Row]) -> str:
+    headers = [
+        "benchmark", "single-thread R", "PR", "SR",
+        "4*R(single)", "4*PR+SR", "saving%",
+    ]
+    table = [
+        (
+            r.name, r.single_thread_regs, r.pr, r.sr,
+            r.baseline_total, r.multithread_total, 100.0 * r.saving,
+        )
+        for r in rows
+    ]
+    out = "Figure 14: SRA register requirements (zero-move budget)\n"
+    out += text_table(headers, table)
+    out += f"\naverage total register saving: {100.0 * average_saving(rows):.1f}%"
+    return out

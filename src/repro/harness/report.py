@@ -1,0 +1,44 @@
+"""Aligned plain-text tables for experiment output."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+
+def text_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render rows as an aligned monospace table with a rule under the
+    header.  Numbers are right-aligned, text left-aligned."""
+    cells: List[List[str]] = [[str(h) for h in headers]]
+    for row in rows:
+        cells.append([_fmt(v) for v in row])
+    widths = [
+        max(len(r[c]) for r in cells) for c in range(len(headers))
+    ]
+    numeric = [
+        all(_is_number(row[c]) for row in rows) if rows else False
+        for c in range(len(headers))
+    ]
+
+    def render_row(r: Sequence[str], force_left: bool = False) -> str:
+        out = []
+        for c, v in enumerate(r):
+            if numeric[c] and not force_left:
+                out.append(v.rjust(widths[c]))
+            else:
+                out.append(v.ljust(widths[c]))
+        return "  ".join(out).rstrip()
+
+    lines = [render_row(cells[0], force_left=True)]
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(render_row(r) for r in cells[1:])
+    return "\n".join(lines)
+
+
+def _fmt(v: object) -> str:
+    if isinstance(v, float):
+        return f"{v:.1f}"
+    return str(v)
+
+
+def _is_number(v: object) -> bool:
+    return isinstance(v, (int, float)) and not isinstance(v, bool)

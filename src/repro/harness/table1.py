@@ -1,0 +1,77 @@
+"""Paper Table 1: properties of the benchmark applications.
+
+Per benchmark: code size, average cycles per main-loop iteration (measured
+standalone on the simulator), context-switch instruction count, number of
+live ranges, the pressure lower bounds ``RegPmax`` / ``RegPCSBmax``, the
+coloring upper bounds ``MaxR`` / ``MaxPR``, and NSR count / average size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.core.analysis import analyze_thread
+from repro.core.bounds import estimate_bounds
+from repro.harness.report import text_table
+from repro.sim.run import run_reference
+from repro.suite.registry import BENCHMARKS, load
+
+
+@dataclass
+class Table1Row:
+    name: str
+    instructions: int
+    cycles_per_iter: float
+    ctx_instrs: int
+    live_ranges: int
+    reg_p_max: int
+    reg_p_csb_max: int
+    max_r: int
+    max_pr: int
+    n_nsr: int
+    avg_nsr_size: float
+
+
+def run_table1(
+    names: Optional[Sequence[str]] = None, packets: int = 8
+) -> List[Table1Row]:
+    """Compute every Table-1 row (all benchmarks by default)."""
+    rows: List[Table1Row] = []
+    for name in names or list(BENCHMARKS):
+        program = load(name)
+        analysis = analyze_thread(program)
+        bounds = estimate_bounds(analysis)
+        ref = run_reference([program], packets_per_thread=packets)
+        rows.append(
+            Table1Row(
+                name=name,
+                instructions=len(program.instrs),
+                cycles_per_iter=ref.thread_cpi(0),
+                ctx_instrs=program.count_csb(),
+                live_ranges=len(analysis.all_regs),
+                reg_p_max=bounds.min_r,
+                reg_p_csb_max=bounds.min_pr,
+                max_r=bounds.max_r,
+                max_pr=bounds.max_pr,
+                n_nsr=analysis.nsr.n_regions,
+                avg_nsr_size=analysis.nsr.average_region_size(),
+            )
+        )
+    return rows
+
+
+def render_table1(rows: Sequence[Table1Row]) -> str:
+    headers = [
+        "benchmark", "#instr", "cyc/iter", "#CTX", "#ranges",
+        "RegPmax", "RegPCSBmax", "MaxR", "MaxPR", "#NSR", "avgNSR",
+    ]
+    table = [
+        (
+            r.name, r.instructions, r.cycles_per_iter, r.ctx_instrs,
+            r.live_ranges, r.reg_p_max, r.reg_p_csb_max, r.max_r,
+            r.max_pr, r.n_nsr, r.avg_nsr_size,
+        )
+        for r in rows
+    ]
+    return "Table 1: benchmark applications\n" + text_table(headers, table)

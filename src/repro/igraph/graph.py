@@ -1,0 +1,105 @@
+"""A small deterministic undirected graph.
+
+Nodes are arbitrary hashable values.  Iteration orders are made
+deterministic by sorting on ``str(node)``, so colorings and the allocation
+pipeline built on top are exactly reproducible run to run.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, Iterator, List, Set, Tuple
+
+Node = Hashable
+
+
+class UndirectedGraph:
+    """Adjacency-set undirected graph with deterministic iteration."""
+
+    def __init__(self) -> None:
+        self._adj: Dict[Node, Set[Node]] = {}
+
+    # ------------------------------------------------------------------
+    # Construction.
+    # ------------------------------------------------------------------
+    def add_node(self, node: Node) -> None:
+        self._adj.setdefault(node, set())
+
+    def add_edge(self, a: Node, b: Node) -> None:
+        if a == b:
+            raise ValueError(f"self-loop on {a!r}")
+        self.add_node(a)
+        self.add_node(b)
+        self._adj[a].add(b)
+        self._adj[b].add(a)
+
+    def remove_node(self, node: Node) -> None:
+        for other in self._adj.pop(node, set()):
+            self._adj[other].discard(node)
+
+    def remove_edge(self, a: Node, b: Node) -> None:
+        self._adj[a].discard(b)
+        self._adj[b].discard(a)
+
+    # ------------------------------------------------------------------
+    # Queries.
+    # ------------------------------------------------------------------
+    def __contains__(self, node: Node) -> bool:
+        return node in self._adj
+
+    def __len__(self) -> int:
+        return len(self._adj)
+
+    def nodes(self) -> List[Node]:
+        return sorted(self._adj, key=str)
+
+    def edges(self) -> List[Tuple[Node, Node]]:
+        """All edges, each once, ordered by node string form.
+
+        Nodes are assumed to have pairwise-distinct ``str()`` forms (true
+        for register operands, this graph's only production node type).
+        """
+        out: List[Tuple[Node, Node]] = []
+        for a in self.nodes():
+            for b in sorted(self._adj[a], key=str):
+                if str(a) < str(b):
+                    out.append((a, b))
+        return out
+
+    def n_edges(self) -> int:
+        return sum(len(s) for s in self._adj.values()) // 2
+
+    def neighbors(self, node: Node) -> List[Node]:
+        return sorted(self._adj[node], key=str)
+
+    def neighbor_set(self, node: Node) -> Set[Node]:
+        return self._adj[node]
+
+    def degree(self, node: Node) -> int:
+        return len(self._adj[node])
+
+    def has_edge(self, a: Node, b: Node) -> bool:
+        return b in self._adj.get(a, ())
+
+    # ------------------------------------------------------------------
+    # Derivatives.
+    # ------------------------------------------------------------------
+    def copy(self) -> "UndirectedGraph":
+        g = UndirectedGraph()
+        for node, nbrs in self._adj.items():
+            g._adj[node] = set(nbrs)
+        return g
+
+    def subgraph(self, keep: Iterable[Node]) -> "UndirectedGraph":
+        keep_set = set(keep)
+        g = UndirectedGraph()
+        for node in keep_set:
+            if node in self._adj:
+                g.add_node(node)
+        for node in keep_set:
+            for other in self._adj.get(node, ()):
+                if other in keep_set:
+                    g.add_edge(node, other)
+        return g
+
+    def __iter__(self) -> Iterator[Node]:
+        return iter(self.nodes())

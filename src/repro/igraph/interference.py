@@ -1,0 +1,106 @@
+"""Builders for the paper's three interference graphs (section 3.2).
+
+* **GIG** (global interference graph): every live range of the thread; an
+  edge joins any two ranges co-live at some program point.
+* **BIG** (boundary interference graph): only boundary live ranges; an edge
+  joins two ranges co-live across the *same* CSB (or both live at program
+  entry, which behaves like a boundary -- other threads run before the
+  thread's first instruction).
+* **IIG_k** (internal interference graph of NSR ``k``): only internal live
+  ranges living in NSR ``k``, with their interference edges.
+
+Claim 2 of the paper (internal nodes of different IIGs never interfere)
+holds by construction and is asserted by tests.
+
+Note the GIG may contain boundary-boundary edges that are *not* in the BIG:
+two ranges can overlap inside an NSR while being live across different
+CSBs.  The merge step (:mod:`repro.igraph.merge`) resolves those conflicts
+too, since the safety requirement is a valid GIG coloring with boundary
+nodes confined to private colors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Tuple
+
+from repro.cfg.liveness import Liveness, co_live_pairs
+from repro.cfg.nsr import NsrInfo
+from repro.igraph.graph import UndirectedGraph
+from repro.ir.operands import Reg
+
+
+@dataclass
+class InterferenceGraphs:
+    """The GIG/BIG/IIG family for one thread."""
+
+    gig: UndirectedGraph
+    big: UndirectedGraph
+    iigs: Dict[int, UndirectedGraph]
+    boundary: FrozenSet[Reg]
+    internal: FrozenSet[Reg]
+
+    def cross_edges(self) -> List[Tuple[Reg, Reg]]:
+        """GIG edges not represented in the BIG or in any IIG.
+
+        These are exactly the edges the region-merge step must check:
+        boundary-internal edges plus boundary-boundary edges that exist
+        only inside NSRs.
+        """
+        out: List[Tuple[Reg, Reg]] = []
+        for a, b in self.gig.edges():
+            if self.big.has_edge(a, b):
+                continue
+            if any(iig.has_edge(a, b) for iig in self.iigs.values()):
+                continue
+            out.append((a, b))
+        return out
+
+
+def build_interference(liveness: Liveness, nsr: NsrInfo) -> InterferenceGraphs:
+    """Construct GIG, BIG and the IIGs from liveness and NSR facts."""
+    program = liveness.program
+
+    gig = UndirectedGraph()
+    for instr in program.instrs:
+        for reg in instr.regs:
+            gig.add_node(reg)
+    for a, b in co_live_pairs(liveness):
+        gig.add_edge(a, b)
+
+    big = UndirectedGraph()
+    for reg in nsr.boundary:
+        big.add_node(reg)
+    entry = sorted(liveness.entry_live(), key=str)
+    for i in range(len(entry)):
+        for j in range(i + 1, len(entry)):
+            big.add_edge(entry[i], entry[j])
+    for c in nsr.csbs:
+        across = sorted(liveness.live_across_csb(c), key=str)
+        for i in range(len(across)):
+            for j in range(i + 1, len(across)):
+                big.add_edge(across[i], across[j])
+
+    iigs: Dict[int, UndirectedGraph] = {
+        rid: UndirectedGraph() for rid in range(nsr.n_regions)
+    }
+    for reg in nsr.internal:
+        iigs[nsr.nsr_of_internal[reg]].add_node(reg)
+    for a, b in gig.edges():
+        if a in nsr.internal and b in nsr.internal:
+            rid_a = nsr.nsr_of_internal[a]
+            rid_b = nsr.nsr_of_internal[b]
+            if rid_a != rid_b:
+                raise AssertionError(
+                    f"internal ranges {a} (NSR {rid_a}) and {b} (NSR {rid_b}) "
+                    f"interfere across regions; claim 2 violated"
+                )
+            iigs[rid_a].add_edge(a, b)
+
+    return InterferenceGraphs(
+        gig=gig,
+        big=big,
+        iigs=iigs,
+        boundary=nsr.boundary,
+        internal=nsr.internal,
+    )

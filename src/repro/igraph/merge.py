@@ -1,0 +1,171 @@
+"""Region-wise coloring merge with conflict-edge resolution (paper Fig. 7).
+
+The upper-bound estimation colors the BIG and each IIG *independently* --
+much cheaper than coloring the whole GIG -- and then merges the colorings:
+
+1. color the BIG minimally; its color count is the initial ``MaxPR``;
+2. color every IIG minimally; ``MaxR`` starts as the maximum of ``MaxPR``
+   and the largest IIG color count;
+3. walk the GIG edges not covered by a single region ("conflict edges");
+   whenever both endpoints carry the same color, try in order:
+
+   a. recolor one endpoint within its legal palette (``[0, MaxPR)`` for
+      boundary nodes, ``[0, MaxR)`` for internal nodes) avoiding all its
+      GIG neighbors;
+   b. recolor one *neighbor* of an endpoint to free a color for it (the
+      paper's "heuristically try to change their neighbors' colors");
+   c. give up and widen: bump ``MaxR`` for a conflict with an internal
+      endpoint (the internal node takes the brand-new color), or bump
+      ``MaxPR`` for a boundary-boundary conflict (shared-range colors are
+      shifted up by one to keep the private palette contiguous).
+
+The result is a valid GIG coloring in which every boundary node's color is
+below ``MaxPR`` -- exactly the paper's "coloring scheme" conditions 1-3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.igraph.coloring import (
+    Coloring,
+    first_free_color,
+    min_color,
+    num_colors,
+)
+from repro.igraph.graph import Node, UndirectedGraph
+from repro.igraph.interference import InterferenceGraphs
+
+
+@dataclass
+class MergeResult:
+    """Outcome of the region merge.
+
+    Attributes:
+        coloring: valid GIG coloring; boundary nodes use colors
+            ``0 .. max_pr-1``.
+        max_pr: the paper's ``MaxPR`` upper bound.
+        max_r: the paper's ``MaxR`` upper bound.
+    """
+
+    coloring: Coloring
+    max_pr: int
+    max_r: int
+
+
+def merge_region_colorings(graphs: InterferenceGraphs) -> MergeResult:
+    """Run the Figure-7 estimation over a thread's interference graphs."""
+    big_coloring = min_color(graphs.big)
+    max_pr = max(num_colors(big_coloring), 0)
+
+    coloring: Coloring = dict(big_coloring)
+    max_r = max_pr
+    for rid in sorted(graphs.iigs):
+        iig_coloring = min_color(graphs.iigs[rid])
+        max_r = max(max_r, num_colors(iig_coloring))
+        coloring.update(iig_coloring)
+
+    # Nodes that interfere with nothing may not appear in any region graph
+    # (isolated GIG nodes); give them color 0 so the coloring is total.
+    for node in graphs.gig.nodes():
+        coloring.setdefault(node, 0)
+    if coloring and max_r == 0:
+        max_r = 1
+    boundary = graphs.boundary
+
+    def palette_limit(node: Node) -> int:
+        return max_pr if node in boundary else max_r
+
+    def neighbor_colors(node: Node) -> Set[int]:
+        return {
+            coloring[nbr]
+            for nbr in graphs.gig.neighbor_set(node)
+            if nbr in coloring
+        }
+
+    def try_recolor(node: Node) -> bool:
+        """Recolor ``node`` within its palette avoiding GIG neighbors."""
+        used = neighbor_colors(node)
+        for c in range(palette_limit(node)):
+            if c != coloring[node] and c not in used:
+                coloring[node] = c
+                return True
+        return False
+
+    def try_recolor_neighbors(node: Node) -> bool:
+        """Free some palette color for ``node`` by moving one neighbor."""
+        used = neighbor_colors(node)
+        for c in range(palette_limit(node)):
+            if c == coloring[node] or c not in used:
+                continue
+            blockers = [
+                nbr
+                for nbr in graphs.gig.neighbors(node)
+                if coloring.get(nbr) == c
+            ]
+            moved: List[Tuple[Node, int]] = []
+            ok = True
+            for blocker in blockers:
+                old = coloring[blocker]
+                b_used = neighbor_colors(blocker)
+                choice = next(
+                    (
+                        bc
+                        for bc in range(palette_limit(blocker))
+                        if bc != old and bc not in b_used
+                    ),
+                    None,
+                )
+                if choice is None:
+                    ok = False
+                    break
+                coloring[blocker] = choice
+                moved.append((blocker, old))
+            if ok and c not in neighbor_colors(node):
+                coloring[node] = c
+                return True
+            for blocker, old in reversed(moved):
+                coloring[blocker] = old
+        return False
+
+    def widen_for(node: Node) -> None:
+        nonlocal max_pr, max_r
+        if node in boundary:
+            # New private color: shift every shared-range color up by one
+            # so private colors stay the contiguous prefix [0, max_pr).
+            for other, c in list(coloring.items()):
+                if c >= max_pr:
+                    coloring[other] = c + 1
+            coloring[node] = max_pr
+            max_pr += 1
+            max_r = max(max_r + 1, max_pr)
+        else:
+            coloring[node] = max_r
+            max_r += 1
+
+    # Conflict-edge worklist.  Resolving one edge can only change colors,
+    # never remove constraint edges, so we loop until a full pass is clean.
+    changed = True
+    passes = 0
+    while changed:
+        passes += 1
+        if passes > len(coloring) + 10:
+            raise AssertionError("region merge failed to converge")
+        changed = False
+        for a, b in graphs.gig.edges():
+            if coloring[a] != coloring[b]:
+                continue
+            changed = True
+            # Prefer to move an internal endpoint (wider palette, and a
+            # widening there costs a shared register, not a private one).
+            first, second = (a, b)
+            if a in boundary and b not in boundary:
+                first, second = b, a
+            if try_recolor(first) or try_recolor(second):
+                continue
+            if try_recolor_neighbors(first) or try_recolor_neighbors(second):
+                continue
+            widen_for(first)
+
+    return MergeResult(coloring=coloring, max_pr=max_pr, max_r=max_r)

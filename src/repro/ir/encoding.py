@@ -1,0 +1,185 @@
+"""Binary encoding of npir programs (the assembler's last step).
+
+The paper's toolchain ends with an assembler producing micro-engine
+machine code; this module is that step for npir.  Physical-register
+programs encode to a stream of 64-bit words:
+
+* bits 63..56 -- opcode ordinal;
+* bits 55..16 -- five 8-bit register fields in signature order (unused
+  fields are zero);
+* bits 15..14 -- extension-word count (0..2);
+* bits 13..0  -- an inline payload for instructions with exactly one
+  small immediate / branch target.
+
+An instruction has up to two *payloads* (an immediate and/or a branch
+target, e.g. ``beqi reg, imm, label``).  A single payload below 2**14 is
+stored inline; anything else moves to one 64-bit extension word per
+payload, in signature order.  Branch targets are encoded as absolute
+instruction indices; decoding reconstructs labels (``L<index>``) at
+branch targets, so ``decode_program(encode_program(p))`` reproduces ``p``
+up to label names -- asserted structurally by :func:`same_code`.
+
+Virtual registers cannot be encoded (machine code exists only after
+register allocation); :func:`encode_program` rejects them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Tuple
+
+from repro.errors import ValidationError
+from repro.ir.instruction import Instruction
+from repro.ir.opcodes import D, I, L, Opcode, U, spec
+from repro.ir.operands import Imm, Label, PhysReg, VirtualReg
+from repro.ir.program import Program
+
+#: Stable opcode numbering (enum definition order).
+_OPCODE_LIST: List[Opcode] = list(Opcode)
+_OPCODE_INDEX: Dict[Opcode, int] = {op: i for i, op in enumerate(_OPCODE_LIST)}
+
+_EXT_SHIFT = 14
+_INLINE_MAX = (1 << 14) - 1
+_MAX_REG_FIELDS = 5
+
+
+def encode_instruction(
+    instr: Instruction, resolve: Dict[str, int]
+) -> List[int]:
+    """Encode one instruction to one to three 64-bit words."""
+    regs: List[int] = []
+    payloads: List[int] = []
+    for role, op in zip(instr.spec.signature, instr.operands):
+        if role in (D, U):
+            if isinstance(op, VirtualReg):
+                raise ValidationError(
+                    f"cannot encode virtual register {op}; allocate first"
+                )
+            assert isinstance(op, PhysReg)
+            if not 0 <= op.index < 256:
+                raise ValidationError(f"register {op} exceeds 8-bit field")
+            regs.append(op.index)
+        elif role == I:
+            assert isinstance(op, Imm)
+            payloads.append(op.value)
+        elif role == L:
+            assert isinstance(op, Label)
+            payloads.append(resolve[op.name])
+    if len(regs) > _MAX_REG_FIELDS:
+        raise ValidationError(
+            f"{instr.opcode} has {len(regs)} register operands; "
+            f"encoding supports {_MAX_REG_FIELDS}"
+        )
+    regs += [0] * (_MAX_REG_FIELDS - len(regs))
+
+    word = _OPCODE_INDEX[instr.opcode] << 56
+    for k, r in enumerate(regs):
+        word |= r << (48 - 8 * k)
+    if not payloads:
+        return [word]
+    if len(payloads) == 1 and payloads[0] <= _INLINE_MAX:
+        return [word | payloads[0]]
+    word |= len(payloads) << _EXT_SHIFT
+    return [word, *payloads]
+
+
+def encode_program(program: Program) -> List[int]:
+    """Encode a validated physical-register program to 64-bit words."""
+    resolve = dict(program.labels)
+    words: List[int] = []
+    for instr in program.instrs:
+        words.extend(encode_instruction(instr, resolve))
+    return words
+
+
+def _decode_one(words: List[int], pos: int) -> Tuple[Instruction, int]:
+    """Decode one instruction starting at ``words[pos]``.
+
+    Returns (instruction, words consumed); branch targets are temporarily
+    encoded as ``Label(str(index))``.
+    """
+    word = words[pos]
+    op_index = (word >> 56) & 0xFF
+    try:
+        opcode = _OPCODE_LIST[op_index]
+    except IndexError:
+        raise ValidationError(f"unknown opcode ordinal {op_index}") from None
+    sig = spec(opcode).signature
+    n_ext = (word >> _EXT_SHIFT) & 0b11
+    if n_ext:
+        payloads = [words[pos + 1 + k] for k in range(n_ext)]
+    else:
+        payloads = [word & _INLINE_MAX]
+    consumed = 1 + n_ext
+
+    operands = []
+    reg_slot = 0
+    payload_slot = 0
+    for role in sig:
+        if role in (D, U):
+            index = (word >> (48 - 8 * reg_slot)) & 0xFF
+            reg_slot += 1
+            operands.append(PhysReg(index))
+        elif role == I:
+            operands.append(Imm(payloads[payload_slot]))
+            payload_slot += 1
+        elif role == L:
+            operands.append(Label(str(payloads[payload_slot])))
+            payload_slot += 1
+    return Instruction(opcode, tuple(operands)), consumed
+
+
+def decode_program(words: List[int], name: str = "decoded") -> Program:
+    """Decode a word stream back into a :class:`Program`.
+
+    Labels are synthesized as ``L<index>`` at every branch target.
+    """
+    instrs: List[Instruction] = []
+    pos = 0
+    while pos < len(words):
+        instr, consumed = _decode_one(words, pos)
+        instrs.append(instr)
+        pos += consumed
+
+    targets = set()
+    for instr in instrs:
+        if instr.spec.is_branch:
+            targets.add(int(instr.target.name))
+    labels = {f"L{t}": t for t in sorted(targets)}
+    fixed: List[Instruction] = []
+    for instr in instrs:
+        if instr.spec.is_branch:
+            t = int(instr.target.name)
+            instr = instr.with_operands(
+                tuple(
+                    Label(f"L{t}") if isinstance(op, Label) else op
+                    for op in instr.operands
+                )
+            )
+        fixed.append(instr)
+    program = Program(name=name, instrs=fixed, labels=labels)
+    for t in targets:
+        if not 0 <= t < len(fixed):
+            raise ValidationError(f"branch target {t} out of range")
+    return program
+
+
+def same_code(a: Program, b: Program) -> bool:
+    """Structural equality up to label naming: same opcodes, registers,
+    immediates, and branch-target *indices*."""
+    if len(a.instrs) != len(b.instrs):
+        return False
+    for ia, ib in zip(a.instrs, b.instrs):
+        if ia.opcode != ib.opcode:
+            return False
+        for role, oa, ob in zip(ia.spec.signature, ia.operands, ib.operands):
+            if role == L:
+                if a.resolve(oa.name) != b.resolve(ob.name):  # type: ignore[union-attr]
+                    return False
+            elif oa != ob:
+                return False
+    return True
+
+
+def code_size_bytes(program: Program) -> int:
+    """Encoded size in bytes (words are 64-bit)."""
+    return 8 * len(encode_program(program))

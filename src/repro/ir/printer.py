@@ -1,0 +1,38 @@
+"""Textual rendering of instructions and programs.
+
+``parse_program(format_program(p))`` reproduces ``p`` exactly (labels are
+re-attached at the same indices), which the round-trip tests rely on.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.ir.instruction import Instruction
+from repro.ir.opcodes import Opcode
+from repro.ir.program import Program
+
+
+def format_instruction(instr: Instruction) -> str:
+    """Render one instruction in canonical npir syntax."""
+    mnemonic = instr.opcode.value
+    if instr.opcode in (Opcode.LOAD, Opcode.STORE, Opcode.LOADQ, Opcode.STOREQ):
+        *regs, base, off = instr.operands
+        regs_text = ", ".join(str(r) for r in regs)
+        if off.value == 0:  # type: ignore[union-attr]
+            return f"{mnemonic} {regs_text}, [{base}]"
+        return f"{mnemonic} {regs_text}, [{base} + {off}]"
+    if not instr.operands:
+        return mnemonic
+    ops = ", ".join(str(op) for op in instr.operands)
+    return f"{mnemonic} {ops}"
+
+
+def format_program(program: Program) -> str:
+    """Render a whole program, labels included."""
+    lines: List[str] = []
+    for index, instr in enumerate(program.instrs):
+        for label in program.labels_at(index):
+            lines.append(f"{label}:")
+        lines.append(f"    {format_instruction(instr)}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,90 @@
+"""Structural validation of npir programs.
+
+:func:`validate_program` checks the rules every later pass assumes:
+
+* all branch targets resolve to an in-range instruction;
+* no label points outside the instruction list;
+* control flow cannot fall off the end of the program;
+* register operands are uniformly virtual or uniformly physical (a mixed
+  program would confuse the allocator and the simulator);
+* every virtual register is defined on every path before each use
+  (a dataflow check, so uninitialised reads never reach the simulator).
+"""
+
+from __future__ import annotations
+
+from typing import Set
+
+from repro.errors import ValidationError
+from repro.ir.operands import PhysReg, VirtualReg
+from repro.ir.program import Program
+
+
+def validate_program(program: Program, check_init: bool = True) -> None:
+    """Raise :class:`ValidationError` on any structural problem."""
+    n = len(program.instrs)
+    if n == 0:
+        raise ValidationError(f"program {program.name!r} is empty")
+    for label, index in program.labels.items():
+        if not 0 <= index < n:
+            raise ValidationError(
+                f"program {program.name!r}: label {label!r} points at "
+                f"{index}, outside [0, {n})"
+            )
+    for index, instr in enumerate(program.instrs):
+        if instr.spec.is_branch:
+            program.resolve(instr.target.name)  # raises when undefined
+        terminal = instr.spec.is_halt or (
+            instr.spec.is_branch and not instr.spec.is_cond
+        )
+        if index == n - 1 and not terminal:
+            raise ValidationError(
+                f"program {program.name!r}: control falls off the end "
+                f"(last instruction is {instr.opcode})"
+            )
+
+    has_virtual = any(
+        isinstance(r, VirtualReg) for i in program.instrs for r in i.regs
+    )
+    has_phys = any(
+        isinstance(r, PhysReg) for i in program.instrs for r in i.regs
+    )
+    if has_virtual and has_phys:
+        raise ValidationError(
+            f"program {program.name!r} mixes virtual and physical registers"
+        )
+
+    if check_init and has_virtual:
+        _check_defined_before_use(program)
+
+
+def _check_defined_before_use(program: Program) -> None:
+    """Forward may-be-uninitialised analysis over virtual registers."""
+    n = len(program.instrs)
+    all_regs = program.virtual_regs()
+    # maybe_undef[i]: registers possibly uninitialised before instruction i.
+    maybe_undef = [set(all_regs) if i == 0 else None for i in range(n)]
+    worklist = [0]
+    while worklist:
+        i = worklist.pop()
+        cur: Set[VirtualReg] = maybe_undef[i]  # type: ignore[assignment]
+        instr = program.instrs[i]
+        out = cur - set(instr.defs)
+        for succ in program.successors(i):
+            prev = maybe_undef[succ]
+            if prev is None:
+                maybe_undef[succ] = set(out)
+                worklist.append(succ)
+            elif not out <= prev:
+                prev |= out
+                worklist.append(succ)
+    for i, instr in enumerate(program.instrs):
+        state = maybe_undef[i]
+        if state is None:
+            continue  # unreachable code: nothing to check
+        for reg in instr.uses:
+            if isinstance(reg, VirtualReg) and reg in state:
+                raise ValidationError(
+                    f"program {program.name!r}: {reg} may be read "
+                    f"uninitialised at instruction {i} ({instr.opcode})"
+                )

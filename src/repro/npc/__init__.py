@@ -1,0 +1,42 @@
+"""npc: the IXP-C-like front end.
+
+The paper's benchmarks were "rewritten in IXP C code (a subset of
+standard C)" and compiled down to micro-engine assembly; npc is that
+layer for this repository.  A small imperative language -- unsigned
+32-bit variables, C expression syntax, ``if``/``while``/``break``/
+``continue``, and packet intrinsics -- compiles to virtual-register npir
+ready for the register allocator.
+
+A flavour::
+
+    // word-sum kernel
+    while (1) {
+        buf = recv();
+        if (buf == 0) break;
+        len = mem[buf];
+        sum = 0;
+        i = 0;
+        while (i < len) {
+            i = i + 1;
+            sum = sum + mem[buf + i];
+            ctx();
+        }
+        mem[buf + 1] = sum;
+        send(buf);
+    }
+    halt();
+
+Pipeline: :func:`compile_source` = lex -> parse -> generate -> validate.
+
+* :mod:`repro.npc.lexer` -- tokens;
+* :mod:`repro.npc.ast` -- the syntax tree;
+* :mod:`repro.npc.parser` -- recursive descent with C-like precedence;
+* :mod:`repro.npc.codegen` -- npir generation (fresh virtual registers
+  for temporaries; short-circuit control flow for conditions).
+"""
+
+from repro.npc.codegen import compile_source
+from repro.npc.lexer import NpcSyntaxError, tokenize
+from repro.npc.parser import parse
+
+__all__ = ["compile_source", "tokenize", "parse", "NpcSyntaxError"]

@@ -1,0 +1,125 @@
+"""Abstract syntax tree for npc.
+
+Everything is an unsigned 32-bit integer.  Expressions are pure except
+the intrinsics ``recv()`` and ``mem[...]`` reads; statements carry all
+other effects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+
+class Expr:
+    """Base class for expressions."""
+
+
+@dataclass(frozen=True)
+class Number(Expr):
+    value: int
+
+
+@dataclass(frozen=True)
+class Name(Expr):
+    ident: str
+
+
+@dataclass(frozen=True)
+class Unary(Expr):
+    op: str  # "-", "~", "!"
+    operand: Expr
+
+
+@dataclass(frozen=True)
+class Binary(Expr):
+    op: str  # + - * & | ^ << >> == != < <= > >= && ||
+    left: Expr
+    right: Expr
+
+
+@dataclass(frozen=True)
+class MemRead(Expr):
+    """``mem[addr]`` -- an SRAM load (a CSB at run time)."""
+
+    addr: Expr
+
+
+@dataclass(frozen=True)
+class Recv(Expr):
+    """``recv()`` -- next packet buffer address, 0 when drained."""
+
+
+class Stmt:
+    """Base class for statements."""
+
+
+@dataclass(frozen=True)
+class Assign(Stmt):
+    target: str
+    value: Expr
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class MemWrite(Stmt):
+    """``mem[addr] = value;``"""
+
+    addr: Expr
+    value: Expr
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class Send(Stmt):
+    value: Expr
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class CtxSwitch(Stmt):
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class Halt(Stmt):
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class If(Stmt):
+    cond: Expr
+    then_body: Tuple[Stmt, ...]
+    else_body: Tuple[Stmt, ...] = ()
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class While(Stmt):
+    cond: Expr
+    body: Tuple[Stmt, ...]
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class Break(Stmt):
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class Continue(Stmt):
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class ExprStmt(Stmt):
+    """An expression evaluated for effect (e.g. a bare ``recv();``)."""
+
+    value: Expr
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class ProgramAst:
+    body: Tuple[Stmt, ...]
+    declared: Tuple[str, ...] = ()

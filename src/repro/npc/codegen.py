@@ -1,0 +1,333 @@
+"""npir code generation for npc.
+
+The generator emits npir assembly *text* and reparses it: the existing
+parser/validator double-check everything the front end produces, and the
+emitted listing is directly inspectable (``compile_source(...,
+return_text=True)``).
+
+Conventions:
+
+* user variables become ``%<name>``; compiler temporaries ``%.tN``;
+  labels ``.LN`` -- none of which collide with user identifiers;
+* conditions compile to *branches*, not materialized booleans, with
+  short-circuit ``&&`` / ``||``; comparisons used as values synthesize
+  0/1;
+* ``mem[base + constant]`` folds the constant into the load/store offset;
+* a ``halt`` is appended when control can reach the end of the program.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple, Union
+
+from repro.ir.parser import parse_program
+from repro.ir.program import Program
+from repro.ir.validate import validate_program
+from repro.npc import ast
+from repro.npc.lexer import NpcSyntaxError
+from repro.npc.parser import parse
+
+#: Binary operators with a direct reg-reg / reg-imm ALU opcode.
+_ALU = {
+    "+": ("add", "addi"),
+    "-": ("sub", "subi"),
+    "*": ("mul", "muli"),
+    "&": ("and", "andi"),
+    "|": ("or", "ori"),
+    "^": ("xor", "xori"),
+    "<<": ("shl", "shli"),
+    ">>": ("shr", "shri"),
+}
+
+_COMPARISONS = ("==", "!=", "<", "<=", ">", ">=")
+
+
+class _Codegen:
+    def __init__(self) -> None:
+        self.lines: List[str] = []
+        self.n_temp = 0
+        self.n_label = 0
+        self.loop_stack: List[Tuple[str, str]] = []  # (continue, break)
+
+    # ------------------------------------------------------------------
+    # Emission helpers.
+    # ------------------------------------------------------------------
+    def emit(self, text: str) -> None:
+        self.lines.append(f"    {text}")
+
+    def label(self, name: str) -> None:
+        self.lines.append(f"{name}:")
+
+    def fresh_temp(self) -> str:
+        self.n_temp += 1
+        return f"%.t{self.n_temp}"
+
+    def fresh_label(self) -> str:
+        self.n_label += 1
+        return f".L{self.n_label}"
+
+    # ------------------------------------------------------------------
+    # Expressions -> a register holding the value.
+    # ------------------------------------------------------------------
+    def expr(self, e: ast.Expr) -> str:
+        if isinstance(e, ast.Number):
+            t = self.fresh_temp()
+            self.emit(f"movi {t}, {e.value & 0xFFFFFFFF}")
+            return t
+        if isinstance(e, ast.Name):
+            return f"%{e.ident}"
+        if isinstance(e, ast.Recv):
+            t = self.fresh_temp()
+            self.emit(f"recv {t}")
+            return t
+        if isinstance(e, ast.MemRead):
+            base, off = self._address(e.addr)
+            t = self.fresh_temp()
+            self.emit(f"load {t}, [{base} + {off}]")
+            return t
+        if isinstance(e, ast.Unary):
+            return self._unary(e)
+        if isinstance(e, ast.Binary):
+            return self._binary(e)
+        raise NpcSyntaxError(f"cannot generate expression {e!r}", 0)
+
+    def _unary(self, e: ast.Unary) -> str:
+        if e.op == "!":
+            # !x == (x == 0), materialized as 0/1.
+            return self._bool_value(
+                ast.Binary("==", e.operand, ast.Number(0))
+            )
+        src = self.expr(e.operand)
+        t = self.fresh_temp()
+        if e.op == "~":
+            self.emit(f"xori {t}, {src}, 0xFFFFFFFF")
+        elif e.op == "-":
+            self.emit(f"xori {t}, {src}, 0xFFFFFFFF")
+            self.emit(f"addi {t}, {t}, 1")
+        else:  # pragma: no cover - parser limits ops
+            raise NpcSyntaxError(f"unknown unary operator {e.op}", 0)
+        return t
+
+    def _binary(self, e: ast.Binary) -> str:
+        if e.op in _ALU:
+            reg_op, imm_op = _ALU[e.op]
+            left = self.expr(e.left)
+            t = self.fresh_temp()
+            if isinstance(e.right, ast.Number):
+                self.emit(f"{imm_op} {t}, {left}, {e.right.value & 0xFFFFFFFF}")
+            else:
+                right = self.expr(e.right)
+                self.emit(f"{reg_op} {t}, {left}, {right}")
+            return t
+        if e.op in _COMPARISONS or e.op in ("&&", "||"):
+            return self._bool_value(e)
+        raise NpcSyntaxError(f"unknown operator {e.op}", 0)
+
+    def _bool_value(self, e: ast.Expr) -> str:
+        """Materialize a condition as 0/1 via branches."""
+        t = self.fresh_temp()
+        done = self.fresh_label()
+        self.emit(f"movi {t}, 1")
+        fail = self.fresh_label()
+        self.branch_if_false(e, fail)
+        self.emit(f"br {done}")
+        self.label(fail)
+        self.emit(f"movi {t}, 0")
+        self.label(done)
+        self.emit("nop")
+        return t
+
+    def _address(self, addr: ast.Expr) -> Tuple[str, int]:
+        """Split an address into (base register, constant offset)."""
+        if isinstance(addr, ast.Binary) and addr.op == "+":
+            if isinstance(addr.right, ast.Number):
+                base, off = self._address(addr.left)
+                return base, off + addr.right.value
+            if isinstance(addr.left, ast.Number):
+                base, off = self._address(addr.right)
+                return base, off + addr.left.value
+        if isinstance(addr, ast.Binary) and addr.op == "-" and isinstance(
+            addr.right, ast.Number
+        ):
+            base, off = self._address(addr.left)
+            return base, off - addr.right.value
+        return self.expr(addr), 0
+
+    # ------------------------------------------------------------------
+    # Conditions -> branches.
+    # ------------------------------------------------------------------
+    def branch_if_false(self, cond: ast.Expr, target: str) -> None:
+        """Jump to ``target`` when ``cond`` is false (short-circuiting)."""
+        if isinstance(cond, ast.Number):
+            if cond.value == 0:
+                self.emit(f"br {target}")
+            return
+        if isinstance(cond, ast.Unary) and cond.op == "!":
+            self.branch_if_true(cond.operand, target)
+            return
+        if isinstance(cond, ast.Binary):
+            if cond.op == "&&":
+                self.branch_if_false(cond.left, target)
+                self.branch_if_false(cond.right, target)
+                return
+            if cond.op == "||":
+                keep = self.fresh_label()
+                self.branch_if_true(cond.left, keep)
+                self.branch_if_false(cond.right, target)
+                self.label(keep)
+                self.emit("nop")
+                return
+            if cond.op in _COMPARISONS:
+                self._compare_branch(cond, target, when_true=False)
+                return
+        reg = self.expr(cond)
+        self.emit(f"beqi {reg}, 0, {target}")
+
+    def branch_if_true(self, cond: ast.Expr, target: str) -> None:
+        if isinstance(cond, ast.Number):
+            if cond.value != 0:
+                self.emit(f"br {target}")
+            return
+        if isinstance(cond, ast.Unary) and cond.op == "!":
+            self.branch_if_false(cond.operand, target)
+            return
+        if isinstance(cond, ast.Binary):
+            if cond.op == "&&":
+                out = self.fresh_label()
+                self.branch_if_false(cond.left, out)
+                self.branch_if_true(cond.right, target)
+                self.label(out)
+                self.emit("nop")
+                return
+            if cond.op == "||":
+                self.branch_if_true(cond.left, target)
+                self.branch_if_true(cond.right, target)
+                return
+            if cond.op in _COMPARISONS:
+                self._compare_branch(cond, target, when_true=True)
+                return
+        reg = self.expr(cond)
+        self.emit(f"bnei {reg}, 0, {target}")
+
+    def _compare_branch(
+        self, cond: ast.Binary, target: str, when_true: bool
+    ) -> None:
+        """Emit a single conditional branch for an unsigned comparison."""
+        op = cond.op
+        left, right = cond.left, cond.right
+        # Normalize > and <= by swapping operands.
+        if op == ">":
+            op, left, right = "<", right, left
+        elif op == "<=":
+            op, left, right = ">=", right, left
+        if not when_true:
+            op = {"==": "!=", "!=": "==", "<": ">=", ">=": "<"}[op]
+        mnems = {"==": "beq", "!=": "bne", "<": "blt", ">=": "bge"}
+        lreg = self.expr(left)
+        if isinstance(right, ast.Number):
+            self.emit(
+                f"{mnems[op]}i {lreg}, {right.value & 0xFFFFFFFF}, {target}"
+            )
+        else:
+            rreg = self.expr(right)
+            self.emit(f"{mnems[op]} {lreg}, {rreg}, {target}")
+
+    # ------------------------------------------------------------------
+    # Statements.
+    # ------------------------------------------------------------------
+    def stmt(self, s: ast.Stmt) -> None:
+        if isinstance(s, ast.Assign):
+            value = self.expr(s.value)
+            self.emit(f"mov %{s.target}, {value}")
+        elif isinstance(s, ast.MemWrite):
+            base, off = self._address(s.addr)
+            value = self.expr(s.value)
+            self.emit(f"store {value}, [{base} + {off}]")
+        elif isinstance(s, ast.Send):
+            value = self.expr(s.value)
+            self.emit(f"send {value}")
+        elif isinstance(s, ast.CtxSwitch):
+            self.emit("ctx")
+        elif isinstance(s, ast.Halt):
+            self.emit("halt")
+        elif isinstance(s, ast.If):
+            self._if(s)
+        elif isinstance(s, ast.While):
+            self._while(s)
+        elif isinstance(s, ast.Break):
+            if not self.loop_stack:
+                raise NpcSyntaxError("break outside a loop", s.line)
+            self.emit(f"br {self.loop_stack[-1][1]}")
+        elif isinstance(s, ast.Continue):
+            if not self.loop_stack:
+                raise NpcSyntaxError("continue outside a loop", s.line)
+            self.emit(f"br {self.loop_stack[-1][0]}")
+        elif isinstance(s, ast.ExprStmt):
+            self.expr(s.value)  # evaluated for effect
+        else:  # pragma: no cover - parser limits statements
+            raise NpcSyntaxError(f"cannot generate statement {s!r}", 0)
+
+    def _if(self, s: ast.If) -> None:
+        otherwise = self.fresh_label()
+        self.branch_if_false(s.cond, otherwise)
+        for inner in s.then_body:
+            self.stmt(inner)
+        if s.else_body:
+            done = self.fresh_label()
+            self.emit(f"br {done}")
+            self.label(otherwise)
+            for inner in s.else_body:
+                self.stmt(inner)
+            self.label(done)
+            self.emit("nop")
+        else:
+            self.label(otherwise)
+            self.emit("nop")
+
+    def _while(self, s: ast.While) -> None:
+        head = self.fresh_label()
+        out = self.fresh_label()
+        self.label(head)
+        self.emit("nop")
+        self.branch_if_false(s.cond, out)
+        self.loop_stack.append((head, out))
+        for inner in s.body:
+            self.stmt(inner)
+        self.loop_stack.pop()
+        self.emit(f"br {head}")
+        self.label(out)
+        self.emit("nop")
+
+    def run(self, program: ast.ProgramAst) -> str:
+        for s in program.body:
+            self.stmt(s)
+        self.emit("halt")
+        return "\n".join(self.lines) + "\n"
+
+
+def compile_to_text(source: str) -> str:
+    """Compile npc source to an npir assembly listing."""
+    return _Codegen().run(parse(source))
+
+
+def compile_source(
+    source: str,
+    name: str = "npc",
+    check_init: bool = True,
+    optimize: bool = True,
+) -> Program:
+    """Compile npc source to a validated virtual-register npir program.
+
+    ``optimize`` (default) runs constant folding, copy propagation and
+    dead-code elimination over the generated code; the raw listing is
+    available via :func:`compile_to_text`.
+    """
+    text = compile_to_text(source)
+    program = parse_program(text, name)
+    validate_program(program, check_init=check_init)
+    if optimize:
+        from repro.opt import optimize as _optimize
+
+        program = _optimize(program)
+        validate_program(program, check_init=check_init)
+    return program

@@ -1,0 +1,80 @@
+"""Tokenizer for npc."""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+from repro.errors import ReproError
+
+
+class NpcSyntaxError(ReproError):
+    """Lexical or syntactic error in npc source."""
+
+    def __init__(self, message: str, line: int):
+        self.line = line
+        super().__init__(f"line {line}: {message}")
+
+
+KEYWORDS = {
+    "if", "else", "while", "break", "continue",
+    "recv", "send", "ctx", "halt", "mem", "var",
+}
+
+#: Multi-character operators first so maximal munch works.
+OPERATORS = [
+    "<<", ">>", "<=", ">=", "==", "!=", "&&", "||",
+    "+", "-", "*", "&", "|", "^", "~", "!", "<", ">",
+    "=", "(", ")", "{", "}", "[", "]", ";", ",",
+]
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<comment>//[^\n]*)
+  | (?P<number>0[xX][0-9a-fA-F]+|\d+)
+  | (?P<name>[A-Za-z_]\w*)
+  | (?P<op>%s)
+    """
+    % "|".join(re.escape(op) for op in OPERATORS),
+    re.VERBOSE,
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # "number" | "name" | "keyword" | "op" | "eof"
+    text: str
+    line: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Token({self.kind}, {self.text!r}, line {self.line})"
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenize npc source; raises :class:`NpcSyntaxError` on junk."""
+    tokens: List[Token] = []
+    line = 1
+    pos = 0
+    while pos < len(source):
+        m = _TOKEN_RE.match(source, pos)
+        if m is None:
+            raise NpcSyntaxError(
+                f"unexpected character {source[pos]!r}", line
+            )
+        text = m.group(0)
+        if m.lastgroup == "ws":
+            line += text.count("\n")
+        elif m.lastgroup == "comment":
+            pass
+        elif m.lastgroup == "number":
+            tokens.append(Token("number", text, line))
+        elif m.lastgroup == "name":
+            kind = "keyword" if text in KEYWORDS else "name"
+            tokens.append(Token(kind, text, line))
+        else:
+            tokens.append(Token("op", text, line))
+        pos = m.end()
+    tokens.append(Token("eof", "", line))
+    return tokens

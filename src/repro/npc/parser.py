@@ -1,0 +1,241 @@
+"""Recursive-descent parser for npc.
+
+Expression grammar (loosest first; all left-associative)::
+
+    or      := and  ("||" and)*
+    and     := bitor ("&&" bitor)*
+    bitor   := bitxor ("|" bitxor)*
+    bitxor  := bitand ("^" bitand)*
+    bitand  := equality ("&" equality)*
+    equality:= relational (("==" | "!=") relational)*
+    relational := shift (("<" | "<=" | ">" | ">=") shift)*
+    shift   := additive (("<<" | ">>") additive)*
+    additive:= term (("+" | "-") term)*
+    term    := unary ("*" unary)*
+    unary   := ("-" | "~" | "!") unary | primary
+    primary := NUMBER | NAME | "recv" "(" ")" | "mem" "[" or "]"
+             | "(" or ")"
+
+Statements::
+
+    stmt := "var" NAME ("," NAME)* ";"              -- optional declaration
+          | NAME "=" or ";"
+          | "mem" "[" or "]" "=" or ";"
+          | "send" "(" or ")" ";"
+          | "ctx" "(" ")" ";"
+          | "halt" "(" ")" ";"
+          | "if" "(" or ")" block ("else" (block | if-stmt))?
+          | "while" "(" or ")" block
+          | "break" ";" | "continue" ";"
+          | or ";"                                  -- expression statement
+    block := "{" stmt* "}"
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.npc import ast
+from repro.npc.lexer import NpcSyntaxError, Token, tokenize
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token]):
+        self.tokens = tokens
+        self.pos = 0
+        self.declared: List[str] = []
+
+    # ------------------------------------------------------------------
+    # Token helpers.
+    # ------------------------------------------------------------------
+    @property
+    def cur(self) -> Token:
+        return self.tokens[self.pos]
+
+    def advance(self) -> Token:
+        tok = self.cur
+        self.pos += 1
+        return tok
+
+    def check(self, kind: str, text: str = None) -> bool:
+        return self.cur.kind == kind and (text is None or self.cur.text == text)
+
+    def accept(self, kind: str, text: str = None) -> bool:
+        if self.check(kind, text):
+            self.advance()
+            return True
+        return False
+
+    def expect(self, kind: str, text: str = None) -> Token:
+        if not self.check(kind, text):
+            want = text or kind
+            raise NpcSyntaxError(
+                f"expected {want!r}, got {self.cur.text!r}", self.cur.line
+            )
+        return self.advance()
+
+    # ------------------------------------------------------------------
+    # Expressions.
+    # ------------------------------------------------------------------
+    _LEVELS: Tuple[Tuple[str, ...], ...] = (
+        ("||",),
+        ("&&",),
+        ("|",),
+        ("^",),
+        ("&",),
+        ("==", "!="),
+        ("<", "<=", ">", ">="),
+        ("<<", ">>"),
+        ("+", "-"),
+        ("*",),
+    )
+
+    def expression(self, level: int = 0) -> ast.Expr:
+        if level == len(self._LEVELS):
+            return self.unary()
+        ops = self._LEVELS[level]
+        node = self.expression(level + 1)
+        while self.cur.kind == "op" and self.cur.text in ops:
+            op = self.advance().text
+            right = self.expression(level + 1)
+            node = ast.Binary(op, node, right)
+        return node
+
+    def unary(self) -> ast.Expr:
+        if self.cur.kind == "op" and self.cur.text in ("-", "~", "!"):
+            op = self.advance().text
+            return ast.Unary(op, self.unary())
+        return self.primary()
+
+    def primary(self) -> ast.Expr:
+        tok = self.cur
+        if tok.kind == "number":
+            self.advance()
+            return ast.Number(int(tok.text, 0))
+        if tok.kind == "name":
+            self.advance()
+            return ast.Name(tok.text)
+        if tok.kind == "keyword" and tok.text == "recv":
+            self.advance()
+            self.expect("op", "(")
+            self.expect("op", ")")
+            return ast.Recv()
+        if tok.kind == "keyword" and tok.text == "mem":
+            self.advance()
+            self.expect("op", "[")
+            addr = self.expression()
+            self.expect("op", "]")
+            return ast.MemRead(addr)
+        if self.accept("op", "("):
+            node = self.expression()
+            self.expect("op", ")")
+            return node
+        raise NpcSyntaxError(
+            f"expected an expression, got {tok.text!r}", tok.line
+        )
+
+    # ------------------------------------------------------------------
+    # Statements.
+    # ------------------------------------------------------------------
+    def block(self) -> Tuple[ast.Stmt, ...]:
+        """A braced statement list, or (C-style) a single statement."""
+        if not self.check("op", "{"):
+            return (self.statement(),)
+        self.expect("op", "{")
+        body: List[ast.Stmt] = []
+        while not self.accept("op", "}"):
+            body.append(self.statement())
+        return tuple(body)
+
+    def statement(self) -> ast.Stmt:
+        tok = self.cur
+        line = tok.line
+        if tok.kind == "keyword":
+            if tok.text == "var":
+                self.advance()
+                while True:
+                    name = self.expect("name")
+                    self.declared.append(name.text)
+                    if not self.accept("op", ","):
+                        break
+                self.expect("op", ";")
+                return self.statement()  # declarations produce no code
+            if tok.text == "if":
+                self.advance()
+                self.expect("op", "(")
+                cond = self.expression()
+                self.expect("op", ")")
+                then_body = self.block()
+                else_body: Tuple[ast.Stmt, ...] = ()
+                if self.accept("keyword", "else"):
+                    if self.check("keyword", "if"):
+                        else_body = (self.statement(),)
+                    else:
+                        else_body = self.block()
+                return ast.If(cond, then_body, else_body, line)
+            if tok.text == "while":
+                self.advance()
+                self.expect("op", "(")
+                cond = self.expression()
+                self.expect("op", ")")
+                return ast.While(cond, self.block(), line)
+            if tok.text == "break":
+                self.advance()
+                self.expect("op", ";")
+                return ast.Break(line)
+            if tok.text == "continue":
+                self.advance()
+                self.expect("op", ";")
+                return ast.Continue(line)
+            if tok.text == "send":
+                self.advance()
+                self.expect("op", "(")
+                value = self.expression()
+                self.expect("op", ")")
+                self.expect("op", ";")
+                return ast.Send(value, line)
+            if tok.text == "ctx":
+                self.advance()
+                self.expect("op", "(")
+                self.expect("op", ")")
+                self.expect("op", ";")
+                return ast.CtxSwitch(line)
+            if tok.text == "halt":
+                self.advance()
+                self.expect("op", "(")
+                self.expect("op", ")")
+                self.expect("op", ";")
+                return ast.Halt(line)
+            if tok.text == "mem":
+                self.advance()
+                self.expect("op", "[")
+                addr = self.expression()
+                self.expect("op", "]")
+                self.expect("op", "=")
+                value = self.expression()
+                self.expect("op", ";")
+                return ast.MemWrite(addr, value, line)
+            if tok.text == "recv":
+                expr = self.expression()
+                self.expect("op", ";")
+                return ast.ExprStmt(expr, line)
+        if tok.kind == "name" and self.tokens[self.pos + 1].text == "=":
+            name = self.advance().text
+            self.expect("op", "=")
+            value = self.expression()
+            self.expect("op", ";")
+            return ast.Assign(name, value, line)
+        expr = self.expression()
+        self.expect("op", ";")
+        return ast.ExprStmt(expr, line)
+
+    def program(self) -> ast.ProgramAst:
+        body: List[ast.Stmt] = []
+        while not self.check("eof"):
+            body.append(self.statement())
+        return ast.ProgramAst(tuple(body), tuple(self.declared))
+
+
+def parse(source: str) -> ast.ProgramAst:
+    """Parse npc source text into an AST."""
+    return _Parser(tokenize(source)).program()

@@ -1,0 +1,55 @@
+"""Machine-independent optimization passes over npir.
+
+The npc front end emits one temporary per subexpression; these passes
+clean that up before register allocation (fewer live ranges, lower
+pressure, fewer instructions), and are useful on hand-written code too.
+
+* :func:`~repro.opt.const_fold.fold_constants` -- block-local constant
+  propagation and folding (``movi`` + ALU chains become ``movi``; reg-reg
+  ALU ops with one known operand become immediate forms).
+* :func:`~repro.opt.copy_prop.propagate_copies` -- block-local copy
+  propagation through ``mov``.
+* :func:`~repro.opt.dead_code.eliminate_dead_code` -- removes side-effect-
+  free instructions whose results are dead (never removes CSBs, branches,
+  or stores).
+* :func:`optimize` -- runs all passes to a fixpoint.
+
+Every pass is semantics-preserving over the simulator's observable
+behaviour (stores and sends); the property tests assert it on random
+programs.
+"""
+
+from __future__ import annotations
+
+from repro.ir.program import Program
+from repro.opt.algebraic import simplify_algebra
+from repro.opt.const_fold import fold_constants
+from repro.opt.copy_prop import propagate_copies
+from repro.opt.dead_code import eliminate_dead_code
+
+__all__ = [
+    "fold_constants",
+    "propagate_copies",
+    "eliminate_dead_code",
+    "simplify_algebra",
+    "optimize",
+]
+
+#: Upper bound on fixpoint iterations (each pass strictly shrinks or
+#: simplifies the program, so this is generous).
+_MAX_ROUNDS = 20
+
+
+def optimize(program: Program) -> Program:
+    """Run all passes to a fixpoint; returns a new program."""
+    current = program
+    for _ in range(_MAX_ROUNDS):
+        after = eliminate_dead_code(
+            propagate_copies(simplify_algebra(fold_constants(current)))
+        )
+        if [str(i) for i in after.instrs] == [
+            str(i) for i in current.instrs
+        ]:
+            return after
+        current = after
+    return current

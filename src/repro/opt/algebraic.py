@@ -1,0 +1,76 @@
+"""Algebraic simplification (peephole identities).
+
+Rewrites ALU instructions whose immediate operand makes them trivial:
+
+* ``addi/subi/ori/xori/shli/shri d, a, 0`` -> ``mov d, a``
+* ``muli d, a, 1``                         -> ``mov d, a``
+* ``muli d, a, 0`` / ``andi d, a, 0``      -> ``movi d, 0``
+* ``andi d, a, 0xFFFFFFFF``                -> ``mov d, a``
+* ``muli d, a, 2**k``                      -> ``shli d, a, k``
+* ``sub d, a, a`` / ``xor d, a, a``        -> ``movi d, 0``
+
+Strictly local, no analysis required; run before copy propagation so the
+introduced ``mov``s dissolve.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.ir.instruction import Instruction
+from repro.ir.opcodes import Opcode
+from repro.ir.operands import Imm
+from repro.ir.program import Program
+
+MASK = 0xFFFFFFFF
+
+_ZERO_NEUTRAL = {
+    Opcode.ADDI, Opcode.SUBI, Opcode.ORI, Opcode.XORI,
+    Opcode.SHLI, Opcode.SHRI,
+}
+
+
+def _simplify(instr: Instruction) -> Optional[Instruction]:
+    op = instr.opcode
+    if op in _ZERO_NEUTRAL:
+        d, a, imm = instr.operands
+        if imm.value == 0:  # type: ignore[union-attr]
+            return Instruction(Opcode.MOV, (d, a))
+    if op is Opcode.MULI:
+        d, a, imm = instr.operands
+        v = imm.value  # type: ignore[union-attr]
+        if v == 1:
+            return Instruction(Opcode.MOV, (d, a))
+        if v == 0:
+            return Instruction(Opcode.MOVI, (d, Imm(0)))
+        if v and v & (v - 1) == 0:
+            return Instruction(
+                Opcode.SHLI, (d, a, Imm(v.bit_length() - 1))
+            )
+    if op is Opcode.ANDI:
+        d, a, imm = instr.operands
+        v = imm.value  # type: ignore[union-attr]
+        if v == 0:
+            return Instruction(Opcode.MOVI, (d, Imm(0)))
+        if v == MASK:
+            return Instruction(Opcode.MOV, (d, a))
+    if op in (Opcode.SUB, Opcode.XOR):
+        d, a, b = instr.operands
+        if a == b:
+            return Instruction(Opcode.MOVI, (d, Imm(0)))
+    if op is Opcode.MOV:
+        d, s = instr.operands
+        if d == s:
+            return Instruction(Opcode.NOP, ())
+    return None
+
+
+def simplify_algebra(program: Program) -> Program:
+    """Return a new program with trivial ALU forms rewritten."""
+    new_instrs: List[Instruction] = []
+    for instr in program.instrs:
+        replacement = _simplify(instr)
+        new_instrs.append(replacement if replacement is not None else instr)
+    return Program(
+        name=program.name, instrs=new_instrs, labels=dict(program.labels)
+    )

@@ -1,0 +1,117 @@
+"""Block-local constant propagation and folding.
+
+Within each basic block, registers with a known constant value (from
+``movi`` or a folded ALU result) are tracked; instructions whose operands
+are all known fold to ``movi``, and reg-reg ALU instructions with a known
+*second* operand (or a known first operand of a commutative op) rewrite to
+their immediate form.  Conditional branches with known operands are left
+alone -- control-flow folding is out of scope and rarely fires on real
+kernels.
+
+Block-local only: no values flow across labels or branches, so the pass
+needs no dataflow fixpoint and is trivially correct in loops.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.cfg.blocks import build_blocks
+from repro.ir.instruction import Instruction
+from repro.ir.opcodes import Opcode
+from repro.ir.operands import Imm, Reg, VirtualReg
+from repro.ir.program import Program
+
+MASK = 0xFFFFFFFF
+
+_EVAL = {
+    Opcode.ADD: lambda a, b: a + b,
+    Opcode.SUB: lambda a, b: a - b,
+    Opcode.AND: lambda a, b: a & b,
+    Opcode.OR: lambda a, b: a | b,
+    Opcode.XOR: lambda a, b: a ^ b,
+    Opcode.SHL: lambda a, b: a << (b & 31),
+    Opcode.SHR: lambda a, b: a >> (b & 31),
+    Opcode.MUL: lambda a, b: a * b,
+}
+_IMM_EVAL = {
+    Opcode.ADDI: lambda a, b: a + b,
+    Opcode.SUBI: lambda a, b: a - b,
+    Opcode.ANDI: lambda a, b: a & b,
+    Opcode.ORI: lambda a, b: a | b,
+    Opcode.XORI: lambda a, b: a ^ b,
+    Opcode.SHLI: lambda a, b: a << (b & 31),
+    Opcode.SHRI: lambda a, b: a >> (b & 31),
+    Opcode.MULI: lambda a, b: a * b,
+}
+_TO_IMM_FORM = {
+    Opcode.ADD: Opcode.ADDI,
+    Opcode.SUB: Opcode.SUBI,
+    Opcode.AND: Opcode.ANDI,
+    Opcode.OR: Opcode.ORI,
+    Opcode.XOR: Opcode.XORI,
+    Opcode.SHL: Opcode.SHLI,
+    Opcode.SHR: Opcode.SHRI,
+    Opcode.MUL: Opcode.MULI,
+}
+_COMMUTATIVE = {Opcode.ADD, Opcode.AND, Opcode.OR, Opcode.XOR, Opcode.MUL}
+
+
+def fold_constants(program: Program) -> Program:
+    """Return a new program with block-local constants folded."""
+    blocks = build_blocks(program)
+    new_instrs: List[Instruction] = list(program.instrs)
+    for block in blocks:
+        known: Dict[Reg, int] = {}
+        for i in block.indices():
+            instr = new_instrs[i]
+            op = instr.opcode
+            replaced: Optional[Instruction] = None
+            if op is Opcode.MOVI:
+                d, imm = instr.operands
+                known[d] = imm.value  # type: ignore[union-attr]
+                continue
+            if op is Opcode.MOV:
+                d, s = instr.operands
+                if s in known:
+                    replaced = Instruction(
+                        Opcode.MOVI, (d, Imm(known[s]))
+                    )
+                    known[d] = known[s]
+                else:
+                    known.pop(d, None)
+                if replaced is not None:
+                    new_instrs[i] = replaced
+                continue
+            if op in _EVAL:
+                d, a, b = instr.operands
+                if a in known and b in known:
+                    value = _EVAL[op](known[a], known[b]) & MASK
+                    new_instrs[i] = Instruction(Opcode.MOVI, (d, Imm(value)))
+                    known[d] = value
+                    continue
+                if b in known:
+                    new_instrs[i] = Instruction(
+                        _TO_IMM_FORM[op], (d, a, Imm(known[b]))
+                    )
+                elif a in known and op in _COMMUTATIVE:
+                    new_instrs[i] = Instruction(
+                        _TO_IMM_FORM[op], (d, b, Imm(known[a]))
+                    )
+                known.pop(d, None)
+                continue
+            if op in _IMM_EVAL:
+                d, a, imm = instr.operands
+                if a in known:
+                    value = _IMM_EVAL[op](known[a], imm.value) & MASK  # type: ignore[union-attr]
+                    new_instrs[i] = Instruction(Opcode.MOVI, (d, Imm(value)))
+                    known[d] = value
+                    continue
+                known.pop(d, None)
+                continue
+            # Anything else (memory, branches, recv...): kill its defs.
+            for d in instr.defs:
+                known.pop(d, None)
+    return Program(
+        name=program.name, instrs=new_instrs, labels=dict(program.labels)
+    )

@@ -1,0 +1,52 @@
+"""Block-local copy propagation.
+
+Inside each basic block, after ``mov d, s`` later reads of ``d`` are
+rewritten to read ``s`` until either register is redefined.  The mov
+itself stays; if the propagation made it dead, dead-code elimination
+removes it afterwards.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.cfg.blocks import build_blocks
+from repro.ir.instruction import Instruction
+from repro.ir.opcodes import Opcode, U
+from repro.ir.operands import Reg
+from repro.ir.program import Program
+
+
+def propagate_copies(program: Program) -> Program:
+    """Return a new program with block-local copies propagated."""
+    blocks = build_blocks(program)
+    new_instrs: List[Instruction] = list(program.instrs)
+    for block in blocks:
+        alias: Dict[Reg, Reg] = {}
+        for i in block.indices():
+            instr = new_instrs[i]
+            # Rewrite uses through the alias map.
+            if alias and any(r in alias for r in instr.uses):
+                ops = []
+                for role, operand in zip(
+                    instr.spec.signature, instr.operands
+                ):
+                    if role == U and operand in alias:
+                        ops.append(alias[operand])
+                    else:
+                        ops.append(operand)
+                instr = instr.with_operands(ops)
+                new_instrs[i] = instr
+            # Kill aliases broken by this instruction's defs.
+            for d in instr.defs:
+                alias.pop(d, None)
+                for key in [k for k, v in alias.items() if v == d]:
+                    del alias[key]
+            # Record a fresh copy.
+            if instr.opcode is Opcode.MOV:
+                d, s = instr.operands
+                if d != s:
+                    alias[d] = s
+    return Program(
+        name=program.name, instrs=new_instrs, labels=dict(program.labels)
+    )

@@ -1,0 +1,67 @@
+"""Dead-code elimination.
+
+Removes instructions that define only dead registers and have no side
+effects: ALU operations, ``mov``/``movi`` and ``nop``.  Memory operations,
+packet operations, ``ctx``, branches and ``halt`` are never removed (CSBs
+shape the thread's scheduling, so even a dead ``load`` stays).
+
+Deletion uses :class:`~repro.cfg.edit.ProgramEditor` semantics in reverse:
+instructions are dropped and labels re-anchored to the next surviving
+instruction, which is safe because dropped instructions are pure
+fallthrough bodies.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+from repro.cfg.liveness import compute_liveness
+from repro.ir.instruction import Instruction
+from repro.ir.opcodes import Opcode
+from repro.ir.program import Program
+
+#: Opcodes safe to delete when their result is dead.
+_PURE = {
+    Opcode.ADD, Opcode.SUB, Opcode.AND, Opcode.OR, Opcode.XOR,
+    Opcode.SHL, Opcode.SHR, Opcode.MUL,
+    Opcode.ADDI, Opcode.SUBI, Opcode.ANDI, Opcode.ORI, Opcode.XORI,
+    Opcode.SHLI, Opcode.SHRI, Opcode.MULI,
+    Opcode.MOV, Opcode.MOVI, Opcode.NOP,
+}
+
+
+def eliminate_dead_code(program: Program) -> Program:
+    """Return a new program without dead pure instructions.
+
+    Iterates internally: removing one dead instruction can kill another.
+    ``nop`` instructions are kept when they are a label's only anchor at
+    the end of the program.
+    """
+    current = program
+    for _ in range(len(program.instrs) + 1):
+        liveness = compute_liveness(current)
+        dead: Set[int] = set()
+        for i, instr in enumerate(current.instrs):
+            if instr.opcode not in _PURE:
+                continue
+            if instr.opcode is Opcode.NOP:
+                if i + 1 < len(current.instrs):
+                    dead.add(i)
+                continue
+            if all(d not in liveness.live_out[i] for d in instr.defs):
+                dead.add(i)
+        if not dead:
+            return current
+        new_instrs: List[Instruction] = []
+        index_map = {}
+        for i, instr in enumerate(current.instrs):
+            index_map[i] = len(new_instrs)
+            if i not in dead:
+                new_instrs.append(instr)
+        new_labels = {
+            name: index_map[idx] for name, idx in current.labels.items()
+        }
+        current = Program(
+            name=current.name, instrs=new_instrs, labels=new_labels
+        )
+    return current

@@ -1,0 +1,49 @@
+"""Flat word-addressed SRAM.
+
+The IXP accesses SRAM/SDRAM through transfer registers with ~20-cycle
+latency and no cache; for the allocator's purposes the only things that
+matter are the latency (modelled by the machine) and a stable address
+space.  Words are 32-bit; addresses are word indices.  Storage is sparse,
+so packet buffers can sit at well-spread bases without cost.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+from repro.errors import SimulationError
+
+MASK32 = 0xFFFFFFFF
+
+
+class Memory:
+    """Sparse 32-bit word-addressed memory."""
+
+    def __init__(self, size: int = 1 << 24):
+        self.size = size
+        self._words: Dict[int, int] = {}
+
+    def _check(self, addr: int) -> int:
+        addr &= MASK32
+        if addr >= self.size:
+            raise SimulationError(
+                f"address {addr:#x} outside memory of {self.size:#x} words"
+            )
+        return addr
+
+    def read(self, addr: int) -> int:
+        return self._words.get(self._check(addr), 0)
+
+    def write(self, addr: int, value: int) -> None:
+        self._words[self._check(addr)] = value & MASK32
+
+    def write_block(self, base: int, words: Iterable[int]) -> None:
+        for i, w in enumerate(words):
+            self.write(base + i, w)
+
+    def read_block(self, base: int, count: int) -> List[int]:
+        return [self.read(base + i) for i in range(count)]
+
+    def snapshot(self) -> Dict[int, int]:
+        """Copy of all nonzero words (for equivalence checks)."""
+        return {a: v for a, v in self._words.items() if v != 0}

@@ -1,0 +1,92 @@
+"""Deterministic synthetic packet workloads.
+
+The paper's benchmarks loop over packets pulled from a receive queue.  Real
+traces are unavailable (and irrelevant to the allocator -- the kernels are
+data-independent loops), so packets are generated with a seeded 64-bit LCG:
+identical seeds give identical workloads on every platform.
+
+Buffer layout convention (shared with the benchmark kernels)::
+
+    word 0          payload length N in words
+    words 1 .. N    payload
+    words N+1 ..    scratch area kernels may write results into
+
+``recv`` pops a buffer's base address from the thread's input queue (0 when
+empty); ``send`` pushes an address onto the thread's output queue.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.sim.memory import Memory
+
+#: Scratch words reserved after each payload.
+PACKET_SCRATCH = 16
+
+
+class Lcg:
+    """A tiny deterministic 64-bit LCG (MMIX constants)."""
+
+    def __init__(self, seed: int):
+        self.state = (seed ^ 0x9E3779B97F4A7C15) & (2**64 - 1)
+
+    def next(self) -> int:
+        self.state = (
+            self.state * 6364136223846793005 + 1442695040888963407
+        ) & (2**64 - 1)
+        return (self.state >> 16) & 0xFFFFFFFF
+
+    def next_in(self, lo: int, hi: int) -> int:
+        """Uniform-ish integer in ``[lo, hi]``."""
+        return lo + self.next() % (hi - lo + 1)
+
+
+@dataclass
+class PacketWorkload:
+    """A per-thread packet workload already laid out in memory.
+
+    Attributes:
+        bases: buffer base addresses, in arrival order.
+        payload_words: payload length of each packet.
+    """
+
+    bases: List[int]
+    payload_words: List[int]
+
+    def __len__(self) -> int:
+        return len(self.bases)
+
+
+def make_workload(
+    memory: Memory,
+    base: int,
+    n_packets: int,
+    payload_words: int = 16,
+    seed: int = 1,
+    vary_size: bool = False,
+) -> PacketWorkload:
+    """Generate ``n_packets`` buffers starting at ``base`` and return the
+    queue contents.
+
+    Args:
+        memory: target memory; buffers are written immediately.
+        base: first buffer's base address (word index).
+        n_packets: number of packets.
+        payload_words: payload size (maximum size when ``vary_size``).
+        seed: LCG seed; same seed, same workload.
+        vary_size: draw each packet's size from ``[4, payload_words]``.
+    """
+    rng = Lcg(seed)
+    bases: List[int] = []
+    sizes: List[int] = []
+    addr = base
+    for _ in range(n_packets):
+        size = rng.next_in(4, payload_words) if vary_size else payload_words
+        words = [size] + [rng.next() for _ in range(size)]
+        memory.write_block(addr, words)
+        bases.append(addr)
+        sizes.append(size)
+        addr += 1 + size + PACKET_SCRATCH
+    return PacketWorkload(bases=bases, payload_words=sizes)

@@ -1,0 +1,71 @@
+"""Execution-trace formatting.
+
+``Machine(trace=True)`` records every executed instruction; this module
+turns the log into a readable interleaving view, one column per thread --
+the quickest way to see how context switches braid the threads together::
+
+    cycle  t0 checksum         t1 counter
+    -----  ------------------  ------------------
+        1  recv %buf
+        2                      movi %seq, 0
+        ...
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.sim.machine import Machine
+
+TraceEntry = Tuple[int, int, int, str]
+
+
+def format_trace(
+    machine: Machine,
+    limit: Optional[int] = None,
+    width: int = 26,
+) -> str:
+    """Render the machine's trace as a per-thread interleaving table."""
+    log = machine.trace_log
+    if log is None:
+        raise ValueError("machine was not created with trace=True")
+    entries: Sequence[TraceEntry] = log[:limit] if limit else log
+    names = [t.program.name for t in machine.threads]
+    header = ["cycle"] + [
+        f"t{tid} {name}"[: width - 1] for tid, name in enumerate(names)
+    ]
+    lines = [
+        "  ".join(
+            [header[0].rjust(5)] + [h.ljust(width) for h in header[1:]]
+        ).rstrip()
+    ]
+    lines.append(
+        "  ".join(["-" * 5] + ["-" * width for _ in names])
+    )
+    for cycle, tid, pc, text in entries:
+        cells = [""] * len(names)
+        cells[tid] = f"{pc:3} {text}"[:width]
+        lines.append(
+            "  ".join([str(cycle).rjust(5)] + [c.ljust(width) for c in cells]).rstrip()
+        )
+    if limit is not None and len(log) > limit:
+        lines.append(f"... {len(log) - limit} more entries")
+    return "\n".join(lines)
+
+
+def thread_slices(machine: Machine) -> List[Tuple[int, int, int]]:
+    """Contiguous execution slices ``(tid, first_cycle, last_cycle)``.
+
+    Useful for asserting scheduling behaviour: each element is a maximal
+    run of consecutive trace entries from one thread.
+    """
+    log = machine.trace_log
+    if log is None:
+        raise ValueError("machine was not created with trace=True")
+    out: List[Tuple[int, int, int]] = []
+    for cycle, tid, _, _ in log:
+        if out and out[-1][0] == tid:
+            out[-1] = (tid, out[-1][1], cycle)
+        else:
+            out.append((tid, cycle, cycle))
+    return out

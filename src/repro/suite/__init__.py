@@ -1,0 +1,20 @@
+"""The benchmark suite: 11 packet-processing kernels in npir assembly.
+
+The paper evaluates on programs from CommBench, NetBench, Intel example
+code and the WRAPS scheduler, rewritten into IXP C / microcode by the
+authors.  We write the same kernels directly in npir.  Each kernel is an
+infinite packet loop -- ``recv``, process, ``store``/``send``, repeat --
+that halts when its input queue drains, following the packet-buffer layout
+of :mod:`repro.sim.packets`.
+
+Register-pressure profile mirrors the paper's: ``md5`` and the two
+``wraps`` kernels hold working sets larger than a 32-register window (so
+the fixed-window baseline spills), the others are moderate.
+
+Use :func:`repro.suite.registry.load` / :data:`repro.suite.registry.BENCHMARKS`
+to obtain programs by name.
+"""
+
+from repro.suite.registry import BENCHMARKS, load, load_all
+
+__all__ = ["BENCHMARKS", "load", "load_all"]

@@ -1,0 +1,36 @@
+"""Shared helpers for writing benchmark kernels in npir text.
+
+Kernels are generated as assembly strings (unrolled loops, hoisted
+constants) and parsed once; :func:`finish` validates the result so a
+malformed generator fails at import-test time, not inside an experiment.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.ir.parser import parse_program
+from repro.ir.program import Program
+from repro.ir.validate import validate_program
+
+
+def rotl(dst: str, src: str, amount: int, t1: str = "rt1", t2: str = "rt2") -> str:
+    """Emit a 32-bit rotate-left of ``src`` by ``amount`` into ``dst``.
+
+    Uses two scratch virtual registers (short-lived, internal).
+    """
+    amount %= 32
+    if amount == 0:
+        return f"    mov %{dst}, %{src}\n"
+    return (
+        f"    shli %{t1}, %{src}, {amount}\n"
+        f"    shri %{t2}, %{src}, {32 - amount}\n"
+        f"    or %{dst}, %{t1}, %{t2}\n"
+    )
+
+
+def finish(text: str, name: str) -> Program:
+    """Parse + validate a generated kernel."""
+    program = parse_program(text, name)
+    validate_program(program)
+    return program

@@ -1,0 +1,64 @@
+"""``drr`` -- deficit round-robin scheduling (CommBench).
+
+Flow state (the deficit counters) lives in SRAM, not registers, so the
+kernel is CSB-dense: per packet it hashes the header to a flow, loads the
+flow's deficit, tops it up with the quantum, decides whether the packet may
+be sent, writes the deficit back and records the verdict.  This is the
+benchmark profile with small NSRs (many loads/stores close together).
+"""
+
+from __future__ import annotations
+
+from repro.ir.program import Program
+from repro.suite.common import finish
+
+#: Word address of the per-flow deficit table.
+DEFICIT_BASE = 0x5000
+#: Number of flows (power of two).
+N_FLOWS = 8
+#: DRR quantum added per visit.
+QUANTUM = 12
+
+
+def build() -> Program:
+    """Build the ``drr`` kernel."""
+    text = f"""
+; drr: deficit round robin with SRAM-resident flow state.
+    movi %quantum, {QUANTUM}
+start:
+    recv %buf
+    beqi %buf, 0, done
+    load %len, [%buf]
+    load %h1, [%buf + 1]
+    load %h2, [%buf + 2]
+    ; flow id from a Jenkins-style header mix
+    xor %fid, %h1, %h2
+    shli %t, %fid, 13
+    xor %fid, %fid, %t
+    shri %t, %fid, 17
+    xor %fid, %fid, %t
+    shli %t, %fid, 5
+    xor %fid, %fid, %t
+    mul %fid, %fid, %quantum
+    shri %t, %fid, 8
+    xor %fid, %fid, %t
+    andi %fid, %fid, {N_FLOWS - 1}
+    addi %slot, %fid, {DEFICIT_BASE}
+    load %deficit, [%slot]
+    add %deficit, %deficit, %quantum
+    movi %verdict, 0
+    blt %deficit, %len, park
+    sub %deficit, %deficit, %len
+    movi %verdict, 1
+park:
+    store %deficit, [%slot]
+    ctx
+    add %out, %buf, %len
+    store %verdict, [%out + 1]
+    store %fid, [%out + 2]
+    send %buf
+    br start
+done:
+    halt
+"""
+    return finish(text, "drr")

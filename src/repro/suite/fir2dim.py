@@ -1,0 +1,79 @@
+"""``fir2dim`` -- two-dimensional FIR filter (DSPstone kernel, used by the
+paper's Table 3 scenarios as the register-light partner thread).
+
+A 3x3 convolution over a 4x4 image carried in the packet payload.  The
+image is loaded into registers once per packet (16 resident pixel
+registers) and the four valid output positions are computed with unrolled
+9-tap multiply-accumulates; coefficients are compile-time immediates, as a
+real compiler would fold them.  Working set ~22 registers: comfortably
+inside a 32-register window (the intended donor thread when co-scheduled
+with ``md5`` or ``wraps``) but big enough that balancing matters.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.ir.program import Program
+from repro.suite.common import finish
+
+#: The 3x3 kernel (small primes keep products recognisable in tests).
+COEFFS = [1, 2, 3, 5, 7, 11, 13, 17, 19]
+#: Image edge length carried in the payload (row-major, words 1..16).
+IMAGE_DIM = 4
+
+
+def build() -> Program:
+    """Build the ``fir2dim`` kernel.
+
+    Besides the convolution proper, the kernel exports a small
+    *inter-frame edge signature*: three staggered accumulators ``e0 / e1 /
+    e2`` whose lifetimes rotate around the per-output ``ctx`` switches
+    (``e2`` survives into the next packet).  They are pairwise co-live
+    across *different* CSBs -- the paper's Figure 9 triangle -- so the
+    boundary graph needs one more color than any single CSB does
+    (``MaxPR = MinPR + 1``) and the inter-thread allocator can buy one
+    register back for a move or two.  This staggered-lifetime shape is
+    what software-pipelined streaming kernels naturally produce.
+    """
+    n_px = IMAGE_DIM * IMAGE_DIM
+    parts: List[str] = [
+        "; fir2dim: 3x3 convolution, image resident in registers.\n",
+        "    movi %e2, 0\n",
+        "start:\n",
+        "    recv %buf\n",
+        "    beqi %buf, 0, done\n",
+        "    load %len, [%buf]\n",
+    ]
+    for q in range(n_px // 4):
+        dsts = ", ".join(f"%px{4 * q + k}" for k in range(4))
+        parts.append(f"    loadq {dsts}, [%buf + {1 + 4 * q}]\n")
+    out_positions = [
+        (r, c) for r in range(IMAGE_DIM - 2) for c in range(IMAGE_DIM - 2)
+    ]
+    parts.append("    add %out, %buf, %len\n")
+    # The previous frame's edge signature is flushed first; e2 stays live
+    # across this frame's loads until here.
+    parts.append(f"    store %e2, [%out + {2 + len(out_positions)}]\n")
+    for n, (r, c) in enumerate(out_positions):
+        parts.append(f"    movi %acc{n}, 0\n")
+        for dr in range(3):
+            for dc in range(3):
+                word = (r + dr) * IMAGE_DIM + (c + dc)
+                tap = dr * 3 + dc
+                parts.append(f"    muli %prod, %px{word}, {COEFFS[tap]}\n")
+                parts.append(f"    add %acc{n}, %acc{n}, %prod\n")
+    # Inter-frame edge signature: e2 survives into the next packet.
+    parts.append("    add %e0, %px0, %px15\n")
+    parts.append("    add %e1, %px3, %px12\n")
+    parts.append("    add %e2, %px5, %px10\n")
+    parts.append("    xor %edge, %e0, %e1\n")
+    # One burst flush for the four outputs: the accumulators die here
+    # without ever crossing a CSB, so they stay internal to this NSR.
+    parts.append("    storeq %acc0, %acc1, %acc2, %acc3, [%out + 1]\n")
+    parts.append(f"    store %edge, [%out + {1 + len(out_positions)}]\n")
+    parts.append("    ctx\n")
+    parts.append("    send %buf\n")
+    parts.append("    br start\n")
+    parts.append("done:\n    halt\n")
+    return finish("".join(parts), "fir2dim")

@@ -1,0 +1,72 @@
+"""``frag`` -- IP fragmentation (CommBench).
+
+The kernel the paper's running example (Figure 4) is lifted from: compute
+the one's-complement IP checksum over the payload, decide whether the
+packet needs fragmentation against an MTU, and write the (checksum,
+fragment-count) results into the packet's scratch words.  Moderate register
+pressure, a voluntary ``ctx`` inside the checksum loop exactly as the paper
+describes programmers doing to avoid monopolizing the PU.
+"""
+
+from __future__ import annotations
+
+from repro.ir.program import Program
+from repro.suite.common import finish
+
+#: MTU in payload words; packets longer than this get fragmented.
+MTU_WORDS = 8
+
+
+def build(mtu_words: int = MTU_WORDS) -> Program:
+    """Build the ``frag`` kernel."""
+    text = f"""
+; frag: IP checksum + fragmentation decision (CommBench kernel).
+start:
+    recv %buf
+    beqi %buf, 0, done
+    load %len, [%buf]
+    movi %sum, 0
+    movi %i, 0
+loop:
+    bge %i, %len, fold
+    addi %i, %i, 1
+    add %addr, %buf, %i
+    load %w, [%addr]
+    ; add both 16-bit halves of the word
+    shri %hiw, %w, 16
+    andi %low, %w, 0xFFFF
+    add %sum, %sum, %hiw
+    add %sum, %sum, %low
+    ctx
+    br loop
+fold:
+    ; fold carries twice: sum = (sum & 0xFFFF) + (sum >> 16)
+    shri %c1, %sum, 16
+    andi %sum, %sum, 0xFFFF
+    add %sum, %sum, %c1
+    shri %c2, %sum, 16
+    andi %sum, %sum, 0xFFFF
+    add %sum, %sum, %c2
+    xori %sum, %sum, 0xFFFF
+    ; fragment count = ceil(len / MTU) via repeated subtraction
+    movi %frags, 0
+    mov %rem, %len
+count:
+    beqi %rem, 0, emit
+    addi %frags, %frags, 1
+    blti %rem, {mtu_words}, drained
+    subi %rem, %rem, {mtu_words}
+    br count
+drained:
+    movi %rem, 0
+    br count
+emit:
+    add %out, %buf, %len
+    store %sum, [%out + 1]
+    store %frags, [%out + 2]
+    send %buf
+    br start
+done:
+    halt
+"""
+    return finish(text, "frag")

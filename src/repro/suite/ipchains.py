@@ -1,0 +1,66 @@
+"""``ipchains`` -- firewall rule matching (NetBench).
+
+Classic linear rule-chain evaluation: the packet's 5-tuple-ish header
+fields are matched against ``N_RULES`` rules stored in SRAM, each rule four
+words ``(src_mask, src_value, dst_mask, dst_value)`` with an action word
+implied by the rule index.  The first matching rule's index is the verdict;
+an all-zero rule (an uninitialised table) matches everything, mirroring a
+default-accept chain tail.  Rule loads make the loop CSB-dense.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.ir.program import Program
+from repro.suite.common import finish
+
+#: Word address of the rule table.
+RULE_BASE = 0x6000
+#: Rules in the chain; each occupies 4 words.
+N_RULES = 6
+
+
+def build(n_rules: int = N_RULES) -> Program:
+    """Build the ``ipchains`` kernel."""
+    parts: List[str] = [
+        "; ipchains: linear firewall rule chain over SRAM rules.\n",
+        "start:\n",
+        "    recv %buf\n",
+        "    beqi %buf, 0, done\n",
+        "    load %len, [%buf]\n",
+        "    load %src, [%buf + 1]\n",
+        "    load %dst, [%buf + 2]\n",
+        "    load %ports, [%buf + 3]\n",
+        f"    movi %verdict, {n_rules}\n",
+        "    movi %r, 0\n",
+        "rloop:\n",
+        f"    bgei %r, {n_rules}, fin\n",
+        "    shli %slot, %r, 2\n",
+        f"    addi %slot, %slot, {RULE_BASE}\n",
+        "    load %smask, [%slot]\n",
+        "    load %sval, [%slot + 1]\n",
+        "    and %ms, %src, %smask\n",
+        "    bne %ms, %sval, next\n",
+        "    load %dmask, [%slot + 2]\n",
+        "    load %dval, [%slot + 3]\n",
+        "    and %md, %dst, %dmask\n",
+        "    bne %md, %dval, next\n",
+        "    mov %verdict, %r\n",
+        "    br fin\n",
+        "next:\n",
+        "    addi %r, %r, 1\n",
+        "    ctx\n",
+        "    br rloop\n",
+        "fin:\n",
+        "    ; fold the port word into the verdict tag for observability\n",
+        "    andi %ptag, %ports, 0xFF\n",
+        "    shli %tag, %verdict, 8\n",
+        "    or %tag, %tag, %ptag\n",
+        "    add %out, %buf, %len\n",
+        "    store %tag, [%out + 1]\n",
+        "    send %buf\n",
+        "    br start\n",
+        "done:\n    halt\n",
+    ]
+    return finish("".join(parts), "ipchains")

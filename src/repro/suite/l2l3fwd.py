@@ -1,0 +1,134 @@
+"""``l2l3fwd`` -- layer-2/layer-3 forwarding (Intel IXP example code).
+
+Two kernels, one per pipeline role (the paper's Table 3 scenario 2 runs
+them on threads 0/1 with ``md5`` on threads 2/3):
+
+* :func:`build_recv` -- parse the Ethernet/IP header words, hash the
+  destination, probe a forwarding table in SRAM (linear probing, bounded),
+  and write the output port into the packet's scratch area.
+* :func:`build_send` -- rewrite source/destination MACs from hoisted
+  station registers, decrement the TTL byte, apply the RFC-1624
+  incremental checksum fixup, store the header back and transmit.
+
+Both have moderate pressure and CSB-dense bodies (table probes are loads).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.ir.program import Program
+from repro.suite.common import finish
+
+#: Word address of the forwarding table (outside packet/spill areas).
+TABLE_BASE = 0x4000
+#: log2 of table buckets.
+TABLE_BITS = 6
+#: Linear-probe attempts before falling back to the default port.
+PROBES = 4
+#: Default output port when no table entry matches.
+DEFAULT_PORT = 0x1F
+
+
+def build_recv() -> Program:
+    """Build ``l2l3fwd_recv``."""
+    mask = (1 << TABLE_BITS) - 1
+    parts: List[str] = [
+        "; l2l3fwd_recv: header parse + hashed forwarding-table probe.\n",
+        "start:\n",
+        "    recv %buf\n",
+        "    beqi %buf, 0, done\n",
+        "    load %len, [%buf]\n",
+        "    load %dmac_hi, [%buf + 1]\n",
+        "    load %dmac_lo, [%buf + 2]\n",
+        "    load %smac_hi, [%buf + 3]\n",
+        "    load %ethtype, [%buf + 4]\n",
+        "    ; hash = (dmac_hi ^ dmac_lo ^ (dmac_lo >> 16)) & mask\n",
+        "    xor %h, %dmac_hi, %dmac_lo\n",
+        "    shri %t, %dmac_lo, 16\n",
+        "    xor %h, %h, %t\n",
+        f"    andi %h, %h, {mask}\n",
+        f"    movi %port, {DEFAULT_PORT}\n",
+    ]
+    for probe in range(PROBES):
+        parts.append(f"probe{probe}:\n" if probe else "")
+        parts.append("    shli %slot, %h, 1\n")
+        parts.append(f"    addi %slot, %slot, {TABLE_BASE}\n")
+        parts.append("    load %key, [%slot]\n")
+        parts.append(f"    bne %key, %dmac_lo, miss{probe}\n")
+        parts.append("    load %port, [%slot + 1]\n")
+        parts.append("    br emit\n")
+        parts.append(f"miss{probe}:\n")
+        parts.append("    addi %h, %h, 1\n")
+        parts.append(f"    andi %h, %h, {mask}\n")
+    parts.append("    ctx\n")
+    parts.append("emit:\n")
+    parts.append("    add %out, %buf, %len\n")
+    parts.append("    store %port, [%out + 1]\n")
+    parts.append("    store %ethtype, [%out + 2]\n")
+    parts.append("    xor %sig, %smac_hi, %dmac_hi\n")
+    parts.append("    store %sig, [%out + 3]\n")
+    parts.append("    send %buf\n")
+    parts.append("    br start\n")
+    parts.append("done:\n    halt\n")
+    return finish("".join(parts), "l2l3fwd_recv")
+
+
+#: Hoisted station MAC words written into outgoing frames.
+STATION_MAC_HI = 0x0002B3
+STATION_MAC_LO = 0x1C4F9A00
+
+
+def build_send() -> Program:
+    """Build ``l2l3fwd_send``."""
+    text = f"""
+; l2l3fwd_send: MAC rewrite + TTL decrement + checksum fixup.
+    movi %sta_hi, {STATION_MAC_HI}
+    movi %sta_lo, {STATION_MAC_LO}
+start:
+    recv %buf
+    beqi %buf, 0, done
+    load %len, [%buf]
+    load %dmac_hi, [%buf + 1]
+    load %dmac_lo, [%buf + 2]
+    load %ttlw, [%buf + 3]
+    load %csum, [%buf + 4]
+    ; flow tag: mixed from the MAC words with co-live scratch values --
+    ; pure ALU work internal to this non-switch region
+    xor %t1, %dmac_hi, %dmac_lo
+    shli %t2, %dmac_hi, 7
+    shri %t3, %dmac_lo, 9
+    xor %t1, %t1, %t2
+    xor %t1, %t1, %t3
+    store %t1, [%buf + 7]
+    ; move old destination into source, install station as destination
+    store %dmac_hi, [%buf + 5]
+    store %dmac_lo, [%buf + 6]
+    store %sta_hi, [%buf + 1]
+    store %sta_lo, [%buf + 2]
+    ; TTL lives in bits 24..31 of word 3; drop packets at TTL 0
+    shri %ttl, %ttlw, 24
+    beqi %ttl, 0, drop
+    subi %ttl, %ttl, 1
+    andi %rest, %ttlw, 0xFFFFFF
+    shli %nttl, %ttl, 24
+    or %ttlw, %nttl, %rest
+    store %ttlw, [%buf + 3]
+    ; RFC 1624 incremental fixup: csum' = csum + 0x0100 folded to 16 bits
+    addi %csum, %csum, 0x0100
+    shri %carry, %csum, 16
+    andi %csum, %csum, 0xFFFF
+    add %csum, %csum, %carry
+    store %csum, [%buf + 4]
+    ctx
+    send %buf
+    br start
+drop:
+    add %out, %buf, %len
+    movi %mark, 0xDEAD
+    store %mark, [%out + 1]
+    br start
+done:
+    halt
+"""
+    return finish(text, "l2l3fwd_send")

@@ -1,0 +1,50 @@
+"""Benchmark registry: name -> builder for the 11 kernels.
+
+Order follows the paper's Table 1 grouping: CommBench kernels, NetBench
+kernels, Intel example code, and the WRAPS scheduler.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.ir.program import Program
+from repro.suite import crc as _crc
+from repro.suite import drr as _drr
+from repro.suite import fir2dim as _fir2dim
+from repro.suite import frag as _frag
+from repro.suite import ipchains as _ipchains
+from repro.suite import l2l3fwd as _l2l3fwd
+from repro.suite import md5 as _md5
+from repro.suite import url as _url
+from repro.suite import wraps as _wraps
+
+#: All benchmark builders by canonical name.
+BENCHMARKS: Dict[str, Callable[[], Program]] = {
+    "frag": _frag.build,
+    "drr": _drr.build,
+    "crc": _crc.build,
+    "url": _url.build,
+    "md5": _md5.build,
+    "ipchains": _ipchains.build,
+    "fir2dim": _fir2dim.build,
+    "l2l3fwd_recv": _l2l3fwd.build_recv,
+    "l2l3fwd_send": _l2l3fwd.build_send,
+    "wraps_recv": _wraps.build_recv,
+    "wraps_send": _wraps.build_send,
+}
+
+
+def load(name: str) -> Program:
+    """Build a fresh copy of benchmark ``name``."""
+    try:
+        builder = BENCHMARKS[name]
+    except KeyError:
+        known = ", ".join(sorted(BENCHMARKS))
+        raise KeyError(f"unknown benchmark {name!r}; known: {known}") from None
+    return builder()
+
+
+def load_all() -> List[Program]:
+    """Build every benchmark once, in registry order."""
+    return [builder() for builder in BENCHMARKS.values()]

@@ -1,0 +1,63 @@
+"""``url`` -- URL pattern matching (NetBench).
+
+Scans the payload for the byte pattern ``"GET "`` (held in four hoisted
+pattern registers) at word-aligned byte positions, counting matches of the
+first byte and full four-byte matches.  Byte extraction is shift/mask work;
+the kernel is load-per-word with a voluntary ``ctx`` each word, giving the
+~10% CSB density the paper reports.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.ir.program import Program
+from repro.suite.common import finish
+
+#: "GET " as byte values.
+PATTERN = [0x47, 0x45, 0x54, 0x20]
+
+
+def build() -> Program:
+    """Build the ``url`` kernel."""
+    parts: List[str] = ["; url: byte-pattern scan over the payload.\n"]
+    for i, b in enumerate(PATTERN):
+        parts.append(f"    movi %p{i}, {b}\n")
+    parts.append("start:\n")
+    parts.append("    recv %buf\n")
+    parts.append("    beqi %buf, 0, done\n")
+    parts.append("    load %len, [%buf]\n")
+    parts.append("    movi %hits, 0\n")
+    parts.append("    movi %partial, 0\n")
+    parts.append("    movi %i, 0\n")
+    parts.append("wloop:\n")
+    parts.append("    bge %i, %len, fin\n")
+    parts.append("    addi %i, %i, 1\n")
+    parts.append("    add %addr, %buf, %i\n")
+    parts.append("    load %w, [%addr]\n")
+    # Extract the word's four bytes once.
+    for b in range(4):
+        parts.append(f"    shri %b{b}, %w, {8 * b}\n")
+        parts.append(f"    andi %b{b}, %b{b}, 0xFF\n")
+    # First-byte hits at any position.
+    for b in range(4):
+        parts.append(f"    bne %b{b}, %p0, nf{b}\n")
+        parts.append("    addi %partial, %partial, 1\n")
+        parts.append(f"nf{b}:\n    nop\n")
+    # Full in-word match at position 0 (bytes 0..3 == pattern).
+    parts.append("    bne %b0, %p0, nw\n")
+    parts.append("    bne %b1, %p1, nw\n")
+    parts.append("    bne %b2, %p2, nw\n")
+    parts.append("    bne %b3, %p3, nw\n")
+    parts.append("    addi %hits, %hits, 1\n")
+    parts.append("nw:\n")
+    parts.append("    ctx\n")
+    parts.append("    br wloop\n")
+    parts.append("fin:\n")
+    parts.append("    add %out, %buf, %len\n")
+    parts.append("    store %hits, [%out + 1]\n")
+    parts.append("    store %partial, [%out + 2]\n")
+    parts.append("    send %buf\n")
+    parts.append("    br start\n")
+    parts.append("done:\n    halt\n")
+    return finish("".join(parts), "url")

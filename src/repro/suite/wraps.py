@@ -1,0 +1,144 @@
+"""``wraps`` -- the WRAPS packet scheduler (Zhuang & Liu, HiPC 2002).
+
+The paper's Table 3 scenario 3 pairs these two kernels with ``fir2dim``
+and ``frag``; with a fixed 32-register window they "run much slower (due to
+spills) if registers are not allocated properly", so they are the
+register-hungriest programs in the suite.
+
+The scheduler keeps per-flow state *resident in registers* across packets
+(the whole point of running it on a register-rich micro-engine):
+
+* :func:`build_recv` -- classify each packet to one of ``N_FLOWS`` flows
+  and update that flow's credit and virtual finish time; the ``2 *
+  N_FLOWS`` state registers plus the flow weights are live across every
+  CSB.
+* :func:`build_send` -- a full unrolled min-tournament over the flows'
+  finish times picks the next flow to serve; its credit is charged and the
+  winner is written to the packet scratch.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.ir.program import Program
+from repro.suite.common import finish
+
+#: Number of flows whose state stays register-resident.  20 flows put the
+#: two kernels around 44/46 private registers: each alone overflows a
+#: fixed 32-register window (forcing baseline spills), while two wraps
+#: threads plus two light threads still leave the 128-register file a
+#: little headroom for the shared pool.
+N_FLOWS = 20
+#: Flows per group in the grouped minimum tournament / signature trees.
+GROUP = 5
+#: Per-flow weights (cycled pattern; immediates in the update code).
+WEIGHTS = [1, 2, 3, 4] * 5
+
+
+def build_recv(n_flows: int = N_FLOWS) -> Program:
+    """Build ``wraps_recv``."""
+    parts: List[str] = [
+        "; wraps_recv: per-flow credit/finish-time update, state in regs.\n"
+    ]
+    for f in range(n_flows):
+        parts.append(f"    movi %cr{f}, 0\n")
+        parts.append(f"    movi %ft{f}, 0\n")
+    parts.append("    movi %vclock, 0\n")
+    parts.append("start:\n")
+    parts.append("    recv %buf\n")
+    parts.append("    beqi %buf, 0, done\n")
+    parts.append("    load %len, [%buf]\n")
+    parts.append("    load %hdr, [%buf + 1]\n")
+    parts.append("    addi %vclock, %vclock, 1\n")
+    parts.append("    ; flow id = low bits of a header hash\n")
+    parts.append("    shri %t, %hdr, 16\n")
+    parts.append("    xor %fid, %hdr, %t\n")
+    parts.append(f"    andi %fid, %fid, {n_flows - 1}\n")
+    for f in range(n_flows):
+        parts.append(f"    beqi %fid, {f}, flow{f}\n")
+    parts.append("    br emit\n")
+    for f in range(n_flows):
+        w = WEIGHTS[f % len(WEIGHTS)]
+        parts.append(f"flow{f}:\n")
+        parts.append(f"    addi %cr{f}, %cr{f}, {w}\n")
+        parts.append(f"    add %ft{f}, %ft{f}, %len\n")
+        parts.append(f"    add %ft{f}, %ft{f}, %cr{f}\n")
+        parts.append("    br emit\n")
+    parts.append("emit:\n")
+    parts.append("    ctx\n")
+    # Fold the whole scheduler state into an observable signature via a
+    # grouped reduction: the group partials are co-live temporaries
+    # internal to this NSR -- pressure the shared registers absorb.
+    n_groups = (n_flows + GROUP - 1) // GROUP
+    for g in range(n_groups):
+        members = range(g * GROUP, min((g + 1) * GROUP, n_flows))
+        first = True
+        for f in members:
+            if first:
+                parts.append(f"    mov %sg{g}, %ft{f}\n")
+                first = False
+            else:
+                parts.append(f"    xor %sg{g}, %sg{g}, %ft{f}\n")
+    parts.append("    mov %sig, %sg0\n")
+    for g in range(1, n_groups):
+        parts.append(f"    xor %sig, %sig, %sg{g}\n")
+    parts.append("    add %out, %buf, %len\n")
+    parts.append("    store %fid, [%out + 1]\n")
+    parts.append("    store %vclock, [%out + 2]\n")
+    parts.append("    store %sig, [%out + 3]\n")
+    parts.append("    send %buf\n")
+    parts.append("    br start\n")
+    parts.append("done:\n    halt\n")
+    return finish("".join(parts), "wraps_recv")
+
+
+def build_send(n_flows: int = N_FLOWS) -> Program:
+    """Build ``wraps_send``."""
+    parts: List[str] = [
+        "; wraps_send: unrolled min-tournament over resident finish times.\n"
+    ]
+    for f in range(n_flows):
+        # Deterministic non-trivial initial finish times and credits.
+        parts.append(f"    movi %ft{f}, {(f * 37 + 11) & 0xFF}\n")
+        parts.append(f"    movi %cr{f}, {(f * 13 + 5) & 0x3F}\n")
+    parts.append("start:\n")
+    parts.append("    recv %buf\n")
+    parts.append("    beqi %buf, 0, done\n")
+    parts.append("    load %len, [%buf]\n")
+    # Grouped minimum tournament: per-group minima (value and index) are
+    # computed first and reduced at the end; the group temporaries are
+    # co-live inside this NSR, pressure the shared registers absorb.
+    n_groups = (n_flows + GROUP - 1) // GROUP
+    for g in range(n_groups):
+        members = list(range(g * GROUP, min((g + 1) * GROUP, n_flows)))
+        head, rest = members[0], members[1:]
+        parts.append(f"    mov %mn{g}, %ft{head}\n")
+        parts.append(f"    movi %id{g}, {head}\n")
+        for f in rest:
+            parts.append(f"    bge %ft{f}, %mn{g}, skip{f}\n")
+            parts.append(f"    mov %mn{g}, %ft{f}\n")
+            parts.append(f"    movi %id{g}, {f}\n")
+            parts.append(f"skip{f}:\n" + "    nop\n")
+    parts.append("    mov %best, %mn0\n")
+    parts.append("    mov %bid, %id0\n")
+    for g in range(1, n_groups):
+        parts.append(f"    bge %mn{g}, %best, gskip{g}\n")
+        parts.append(f"    mov %best, %mn{g}\n")
+        parts.append(f"    mov %bid, %id{g}\n")
+        parts.append(f"gskip{g}:\n" + "    nop\n")
+    parts.append("    ctx\n")
+    # Charge the winner: ft += len, cr -= 1 (floored at 0).
+    for f in range(n_flows):
+        parts.append(f"    bnei %bid, {f}, nocharge{f}\n")
+        parts.append(f"    add %ft{f}, %ft{f}, %len\n")
+        parts.append(f"    beqi %cr{f}, 0, nocharge{f}\n")
+        parts.append(f"    subi %cr{f}, %cr{f}, 1\n")
+        parts.append(f"nocharge{f}:\n" + "    nop\n")
+    parts.append("    add %out, %buf, %len\n")
+    parts.append("    store %bid, [%out + 1]\n")
+    parts.append("    store %best, [%out + 2]\n")
+    parts.append("    send %buf\n")
+    parts.append("    br start\n")
+    parts.append("done:\n    halt\n")
+    return finish("".join(parts), "wraps_send")

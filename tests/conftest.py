@@ -1,0 +1,95 @@
+"""Shared fixtures: small, well-understood programs used across tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ir import parse_program
+
+#: A loop-free two-NSR program (one ctx, one load).
+STRAIGHT = """
+    movi %a, 1
+    ctx
+    movi %b, 2
+    add %c, %a, %b
+    store %c, [%a + 4]
+    halt
+"""
+
+#: The paper's Figure 3, thread 1: a live across ctx; b/c internal;
+#: a-b-c form a GIG triangle while only two values are ever co-live.
+FIG3_T1 = """
+    movi %a, 1
+    ctx
+    bnei %a, 0, L1
+    movi %b, 2
+    add %x, %a, %b
+    movi %c, 3
+    br L2
+L1:
+    movi %c, 4
+    add %x, %a, %c
+    movi %b, 5
+L2:
+    add %x, %b, %c
+    load %y, [%x]
+    halt
+"""
+
+#: The paper's Figure 3, thread 2: d only live between switches.
+FIG3_T2 = """
+    movi %base, 64
+    store %base, [%base]
+    ctx
+    movi %d, 7
+    add %d, %d, %d
+    store %d, [%base + 1]
+    halt
+"""
+
+#: A small looping packet kernel (checksum) exercising recv/send.
+MINI_KERNEL = """
+start:
+    recv %buf
+    beqi %buf, 0, done
+    load %len, [%buf]
+    movi %sum, 0
+    movi %i, 0
+loop:
+    bge %i, %len, fold
+    addi %i, %i, 1
+    add %t0, %buf, %i
+    load %w, [%t0]
+    add %sum, %sum, %w
+    ctx
+    br loop
+fold:
+    shri %hi, %sum, 16
+    andi %lo, %sum, 0xFFFF
+    add %sum, %hi, %lo
+    store %sum, [%buf + 1]
+    send %buf
+    br start
+done:
+    halt
+"""
+
+
+@pytest.fixture
+def straight():
+    return parse_program(STRAIGHT, "straight")
+
+
+@pytest.fixture
+def fig3_t1():
+    return parse_program(FIG3_T1, "fig3_t1")
+
+
+@pytest.fixture
+def fig3_t2():
+    return parse_program(FIG3_T2, "fig3_t2")
+
+
+@pytest.fixture
+def mini_kernel():
+    return parse_program(MINI_KERNEL, "mini_kernel")

@@ -1,0 +1,93 @@
+"""Unit tests for the Chaitin baseline allocator with spilling."""
+
+import pytest
+
+from repro.baseline.chaitin import chaitin_allocate
+from repro.baseline.single_thread import (
+    allocate_pu_baseline,
+    single_thread_register_count,
+)
+from repro.errors import AllocationError
+from repro.ir.opcodes import Opcode
+from repro.ir.parser import parse_program
+from repro.sim.run import outputs_match, run_reference, run_threads
+from repro.suite.registry import load
+from tests.conftest import MINI_KERNEL
+
+
+def kernel():
+    return parse_program(MINI_KERNEL, "k")
+
+
+def test_no_spills_when_k_suffices():
+    p = kernel()
+    need = single_thread_register_count(p)
+    res = chaitin_allocate(p, k=need)
+    assert res.spilled == []
+    assert res.colors_used <= need
+    assert not res.program.virtual_regs()
+
+
+def test_spills_when_k_too_small():
+    res = chaitin_allocate(kernel(), k=3)
+    assert res.spilled
+    assert res.spill_loads > 0
+    assert res.program.count_opcode(Opcode.LOAD) > kernel().count_opcode(
+        Opcode.LOAD
+    )
+
+
+@pytest.mark.parametrize("k", [2, 3, 4, 8])
+def test_spilled_code_preserves_semantics(k):
+    p = kernel()
+    res = chaitin_allocate(p.copy(), k=k)
+    ref = run_reference([p], packets_per_thread=5)
+    got = run_threads([res.program], packets_per_thread=5, nreg=k)
+    assert outputs_match(ref, got)
+
+
+def test_colors_stay_in_window():
+    res = chaitin_allocate(kernel(), k=4, phys_base=10)
+    for reg in res.program.phys_regs():
+        assert 10 <= reg.index < 14
+
+
+def test_too_few_registers_to_ever_color():
+    # Three live registers are required simultaneously (add d, a, b).
+    p = parse_program(
+        "movi %a, 1\nmovi %b, 2\nadd %d, %a, %b\nstore %d, [%a]\nhalt\n",
+        "t",
+    )
+    with pytest.raises(AllocationError):
+        chaitin_allocate(p, k=1)
+
+
+def test_pu_baseline_windows_disjoint():
+    programs = [kernel() for _ in range(4)]
+    pu = allocate_pu_baseline(programs, nreg=128)
+    assert pu.window == 32
+    seen = set()
+    for i, res in enumerate(pu.results):
+        regs = {r.index for r in res.program.phys_regs()}
+        assert regs <= set(range(i * 32, (i + 1) * 32))
+        assert not regs & seen
+        seen |= regs
+
+
+def test_pu_baseline_spill_areas_disjoint():
+    # Force spills for all threads and check spill addresses never alias.
+    programs = [kernel() for _ in range(4)]
+    pu = allocate_pu_baseline(programs, nreg=16)  # window = 4 each
+    run = run_threads(pu.programs, packets_per_thread=4, nreg=16)
+    spill_addrs = [
+        {a for a, _ in trace if 0x8000 <= a < 0x10000}
+        for trace in run.stores
+    ]
+    for i in range(4):
+        for j in range(i + 1, 4):
+            assert not spill_addrs[i] & spill_addrs[j]
+
+
+def test_standalone_register_count_on_suite():
+    assert single_thread_register_count(load("frag")) >= 6
+    assert single_thread_register_count(load("md5")) > 32

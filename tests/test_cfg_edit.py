@@ -1,0 +1,127 @@
+"""Unit tests for program editing (insertion, edge splitting)."""
+
+import pytest
+
+from repro.cfg.edit import InsertMode, ProgramEditor
+from repro.errors import ValidationError
+from repro.ir.instruction import Instruction
+from repro.ir.opcodes import Opcode
+from repro.ir.operands import Imm, VirtualReg
+from repro.ir.parser import parse_program
+from repro.ir.printer import format_program
+from repro.ir.validate import validate_program
+from repro.sim.run import outputs_match, run_reference
+
+
+def nopi(n=1):
+    return [Instruction(Opcode.NOP, ()) for _ in range(n)]
+
+
+def test_insert_before_shifts_labels(mini_kernel):
+    editor = ProgramEditor(mini_kernel)
+    old_loop = mini_kernel.labels["loop"]
+    editor.insert_before(0, nopi(2))
+    out = editor.commit()
+    assert out.labels["loop"] == old_loop + 2
+    validate_program(out)
+
+
+def test_insert_all_paths_lands_after_label(mini_kernel):
+    target = mini_kernel.labels["loop"]
+    editor = ProgramEditor(mini_kernel)
+    editor.insert_before(target, nopi(1), InsertMode.ALL_PATHS)
+    out = editor.commit()
+    # The label now points AT the inserted nop (runs on jumps too).
+    assert out.instrs[out.labels["loop"]].opcode is Opcode.NOP
+
+
+def test_insert_fallthrough_only_lands_before_label(mini_kernel):
+    target = mini_kernel.labels["loop"]
+    editor = ProgramEditor(mini_kernel)
+    editor.insert_before(target, nopi(1), InsertMode.FALLTHROUGH_ONLY)
+    out = editor.commit()
+    # Jumps to the label skip the inserted nop.
+    assert out.instrs[out.labels["loop"]].opcode is not Opcode.NOP
+    assert out.instrs[out.labels["loop"] - 1].opcode is Opcode.NOP
+
+
+def test_insert_after_rejects_terminal():
+    p = parse_program("br x\nx:\n halt\n", "t")
+    editor = ProgramEditor(p)
+    with pytest.raises(ValidationError):
+        editor.insert_after(0, nopi())
+
+
+def test_edge_split_on_branch_edge_uses_trampoline(fig3_t1):
+    # Edge from the conditional branch (index 2) to L1.
+    src = 2
+    dst = fig3_t1.labels["L1"]
+    editor = ProgramEditor(fig3_t1)
+    editor.insert_on_edge(src, dst, nopi(1))
+    out = editor.commit()
+    validate_program(out, check_init=False)
+    # L1 has two predecessors... actually only the branch; but the editor
+    # may still choose direct insertion; either way semantics hold: the
+    # branch target must reach a nop before the original L1 code.
+    assert len(out.instrs) == len(fig3_t1.instrs) + 1 or (
+        len(out.instrs) == len(fig3_t1.instrs) + 2  # nop + trampoline br
+    )
+
+
+def test_edge_split_preserves_semantics(mini_kernel):
+    # Insert a harmless self-move on every CFG edge out of the branch at
+    # 'loop' and check observable behaviour is unchanged.
+    head = mini_kernel.labels["loop"]
+    instr = mini_kernel.instrs[head]
+    assert instr.spec.is_branch
+    editor = ProgramEditor(mini_kernel)
+    mov = Instruction(
+        Opcode.MOV, (VirtualReg("sum"), VirtualReg("sum"))
+    )
+    for succ in mini_kernel.successors(head):
+        editor.insert_on_edge(head, succ, [mov])
+    out = editor.commit()
+    validate_program(out)
+    a = run_reference([mini_kernel], packets_per_thread=4)
+    b = run_reference([out], packets_per_thread=4)
+    assert outputs_match(a, b)
+
+
+def test_fallthrough_edge_insertion_only_on_that_path():
+    p = parse_program(
+        """
+        movi %a, 0
+        movi %n, 3
+    loop:
+        addi %a, %a, 1
+        bnei %a, 2, skip
+        movi %a, 10
+    skip:
+        blt %a, %n, loop
+        store %a, [%n]
+        halt
+        """,
+        "t",
+    )
+    # Insert on the fallthrough edge (bnei -> movi %a, 10).
+    bnei = next(i for i, ins in enumerate(p.instrs) if ins.opcode is Opcode.BNEI)
+    editor = ProgramEditor(p)
+    editor.insert_on_edge(bnei, bnei + 1, nopi(1))
+    out = editor.commit()
+    validate_program(out)
+    a = run_reference([p])
+    b = run_reference([out])
+    assert outputs_match(a, b)
+
+
+def test_multiple_edits_against_original_indices(mini_kernel):
+    editor = ProgramEditor(mini_kernel)
+    editor.insert_before(2, nopi(1))
+    editor.insert_before(5, nopi(2))
+    editor.insert_after(0, nopi(1))
+    out = editor.commit()
+    assert len(out.instrs) == len(mini_kernel.instrs) + 4
+    validate_program(out)
+    a = run_reference([mini_kernel], packets_per_thread=3)
+    b = run_reference([out], packets_per_thread=3)
+    assert outputs_match(a, b)

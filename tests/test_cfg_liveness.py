@@ -1,0 +1,94 @@
+"""Unit tests for liveness analysis and pressure metrics."""
+
+from repro.cfg.liveness import (
+    co_live_pairs,
+    compute_liveness,
+    occupied_slots,
+)
+from repro.ir.operands import VirtualReg
+from repro.ir.parser import parse_program
+
+
+def v(name):
+    return VirtualReg(name)
+
+
+def test_straight_line_liveness(straight):
+    lv = compute_liveness(straight)
+    # %a is live across the ctx (defined before, used after).
+    ctx_index = 1
+    assert v("a") in lv.live_out[ctx_index]
+    assert v("a") in lv.live_across_csb(ctx_index)
+    # %c is dead after the store.
+    store_index = 4
+    assert v("c") not in lv.live_out[store_index]
+
+
+def test_load_destination_not_live_across(fig3_t1):
+    lv = compute_liveness(fig3_t1)
+    load_index = next(
+        i for i, ins in enumerate(fig3_t1.instrs) if ins.opcode.value == "load"
+    )
+    assert v("y") not in lv.live_across_csb(load_index)
+
+
+def test_entry_live_empty_for_initialised_program(mini_kernel):
+    lv = compute_liveness(mini_kernel)
+    assert lv.entry_live() == frozenset()
+
+
+def test_entry_live_detects_external_values():
+    p = parse_program("add %x, %in1, %in2\nstore %x, [%in1]\nhalt\n", "t")
+    lv = compute_liveness(p)
+    assert lv.entry_live() == {v("in1"), v("in2")}
+
+
+def test_reg_p_max_counts_colive(fig3_t1):
+    lv = compute_liveness(fig3_t1)
+    # The paper: at most two variables are co-live at any point.
+    assert lv.reg_p_max() == 2
+
+
+def test_reg_p_csb_max(fig3_t1):
+    lv = compute_liveness(fig3_t1)
+    # Only %a is live across a CSB.
+    assert lv.reg_p_csb_max() == 1
+
+
+def test_co_live_pairs_triangle(fig3_t1):
+    pairs = co_live_pairs(compute_liveness(fig3_t1))
+
+    def has(a, b):
+        return (v(a), v(b)) in pairs or (v(b), v(a)) in pairs
+
+    assert has("a", "b") and has("a", "c") and has("b", "c")
+
+
+def test_mov_source_dying_does_not_interfere():
+    p = parse_program(
+        "movi %a, 1\nmov %b, %a\nstore %b, [%b]\nhalt\n", "t"
+    )
+    pairs = co_live_pairs(compute_liveness(p))
+    assert (v("a"), v("b")) not in pairs and (v("b"), v("a")) not in pairs
+
+
+def test_dead_def_interferes_with_live_values():
+    p = parse_program(
+        "movi %a, 1\nmovi %dead, 9\nstore %a, [%a]\nhalt\n", "t"
+    )
+    pairs = co_live_pairs(compute_liveness(p))
+    assert (v("a"), v("dead")) in pairs or (v("dead"), v("a")) in pairs
+
+
+def test_occupied_slots(straight):
+    lv = compute_liveness(straight)
+    slots = occupied_slots(lv, v("a"))
+    # defined at 0, live into 1..4 (last use at the store, index 4)
+    assert slots == frozenset({0, 1, 2, 3, 4})
+
+
+def test_loop_keeps_values_live(mini_kernel):
+    lv = compute_liveness(mini_kernel)
+    loop_head = mini_kernel.labels["loop"]
+    assert v("sum") in lv.live_in[loop_head]
+    assert v("buf") in lv.live_in[loop_head]

@@ -1,0 +1,114 @@
+"""Unit tests for dominators and natural loops."""
+
+from repro.cfg.blocks import build_blocks
+from repro.cfg.loops import dominators, loop_depth, natural_loops
+from repro.ir.parser import parse_program
+
+
+def test_straight_line_no_loops(straight):
+    assert natural_loops(straight) == []
+    assert all(d == 0 for d in loop_depth(straight))
+
+
+def test_entry_dominates_everything(mini_kernel):
+    blocks = build_blocks(mini_kernel)
+    dom = dominators(blocks)
+    for b in blocks:
+        assert 0 in dom[b.bid]
+        assert b.bid in dom[b.bid]
+
+
+def test_simple_loop_detected(mini_kernel):
+    loops = natural_loops(mini_kernel)
+    assert loops  # the packet loop plus the word loop
+    depths = loop_depth(mini_kernel)
+    loop_head = mini_kernel.labels["loop"]
+    assert depths[loop_head] >= 1
+
+
+def test_nested_loops_depth():
+    p = parse_program(
+        """
+        movi %i, 0
+    outer:
+        movi %j, 0
+    inner:
+        addi %j, %j, 1
+        blti %j, 3, inner
+        addi %i, %i, 1
+        blti %i, 3, outer
+        store %i, [%j]
+        halt
+        """,
+        "nest",
+    )
+    depths = loop_depth(p)
+    inner_i = p.labels["inner"]
+    outer_i = p.labels["outer"]
+    tail = len(p.instrs) - 2  # the store
+    assert depths[inner_i] == 2
+    assert depths[outer_i] == 1
+    assert depths[tail] == 0
+
+
+def test_diamond_has_no_loop(fig3_t1):
+    assert natural_loops(fig3_t1) == []
+
+
+def test_self_loop_block():
+    p = parse_program(
+        """
+        movi %i, 0
+    spin:
+        addi %i, %i, 1
+        blti %i, 9, spin
+        store %i, [%i]
+        halt
+        """,
+        "t",
+    )
+    loops = natural_loops(p)
+    assert len(loops) == 1
+    assert loops[0].header in loops[0]
+
+
+def test_two_back_edges_same_header():
+    p = parse_program(
+        """
+        movi %i, 0
+    head:
+        addi %i, %i, 1
+        beqi %i, 5, head
+        blti %i, 9, head
+        store %i, [%i]
+        halt
+        """,
+        "t",
+    )
+    loops = natural_loops(p)
+    assert len(loops) == 2
+    # Same-header loops merge for depth purposes: depth stays 1.
+    assert max(loop_depth(p)) == 1
+
+
+def test_spill_cost_prefers_cold_values():
+    from repro.baseline.chaitin import _occurrences
+
+    p = parse_program(
+        """
+        movi %cold, 1
+        movi %hot, 0
+        movi %i, 0
+    loop:
+        add %hot, %hot, %i
+        addi %i, %i, 1
+        blti %i, 9, loop
+        store %hot, [%cold]
+        halt
+        """,
+        "t",
+    )
+    occ = _occurrences(p)
+    from repro.ir.operands import VirtualReg
+
+    assert occ[VirtualReg("hot")] > occ[VirtualReg("cold")] * 3

@@ -1,0 +1,93 @@
+"""Unit tests for non-switch regions and boundary classification."""
+
+import pytest
+
+from repro.cfg.liveness import compute_liveness
+from repro.cfg.nsr import compute_nsr
+from repro.ir.operands import VirtualReg
+from repro.ir.parser import parse_program
+
+
+def v(name):
+    return VirtualReg(name)
+
+
+def analyze(program):
+    lv = compute_liveness(program)
+    return lv, compute_nsr(lv)
+
+
+def test_straight_two_regions(straight):
+    lv, nsr = analyze(straight)
+    # ctx at 1 and store at 4 cut the program into: [0], [2,3], [5]
+    assert nsr.n_regions == 3
+    assert nsr.nsr_of[1] is None  # the ctx belongs to no region
+    assert nsr.nsr_of[4] is None  # the store belongs to no region
+
+
+def test_boundary_and_internal(straight):
+    lv, nsr = analyze(straight)
+    assert v("a") in nsr.boundary
+    assert v("b") in nsr.internal
+    assert v("c") in nsr.internal
+
+
+def test_internal_node_has_single_region(straight):
+    lv, nsr = analyze(straight)
+    assert nsr.nsr_of_internal[v("b")] == nsr.nsr_of_internal[v("c")]
+
+
+def test_fig3_classification(fig3_t1):
+    lv, nsr = analyze(fig3_t1)
+    assert v("a") in nsr.boundary
+    assert v("b") in nsr.internal and v("c") in nsr.internal
+
+
+def test_loop_joins_split_block_into_one_region():
+    # The paper's Figure 4: both halves of a block can share an NSR
+    # through a loop around the CSB.
+    p = parse_program(
+        """
+        movi %i, 0
+    loop:
+        addi %i, %i, 1
+        ctx
+        blti %i, 5, loop
+        halt
+        """,
+        "t",
+    )
+    lv, nsr = analyze(p)
+    # Instructions 1 (addi) and 3 (blti) connect via the back edge.
+    assert nsr.nsr_of[1] == nsr.nsr_of[3]
+
+
+def test_entry_live_values_are_boundary():
+    p = parse_program("store %x, [%x]\nhalt\n", "t")
+    lv, nsr = analyze(p)
+    assert v("x") in nsr.boundary
+
+
+def test_csb_free_program_is_one_region():
+    p = parse_program("movi %a, 1\nmovi %b, 2\nadd %a, %a, %b\nhalt\n", "t")
+    lv, nsr = analyze(p)
+    assert nsr.n_regions == 1
+    assert nsr.boundary == frozenset()
+
+
+def test_average_region_size(mini_kernel):
+    lv, nsr = analyze(mini_kernel)
+    assert nsr.average_region_size() == pytest.approx(
+        sum(len(r) for r in nsr.regions) / nsr.n_regions
+    )
+
+
+def test_regions_partition_non_csb_instructions(mini_kernel):
+    lv, nsr = analyze(mini_kernel)
+    members = sorted(i for r in nsr.regions for i in r)
+    non_csb = [
+        i
+        for i, ins in enumerate(mini_kernel.instrs)
+        if not ins.is_csb
+    ]
+    assert members == non_csb

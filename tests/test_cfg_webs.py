@@ -1,0 +1,102 @@
+"""Unit tests for web renaming."""
+
+from repro.cfg.webs import rename_webs
+from repro.ir.operands import VirtualReg
+from repro.ir.parser import parse_program
+from repro.sim.run import outputs_match, run_reference
+
+
+def names(program):
+    return {r.name for r in program.virtual_regs()}
+
+
+def test_disconnected_reuses_are_split():
+    p = parse_program(
+        """
+        movi %t, 1
+        store %t, [%t]
+        movi %t, 2
+        store %t, [%t]
+        halt
+        """,
+        "t",
+    )
+    out = rename_webs(p)
+    assert len(names(out)) == 2
+
+
+def test_connected_def_use_kept_together():
+    p = parse_program(
+        """
+        movi %x, 1
+        beqi %x, 0, other
+        movi %a, 2
+        br join
+    other:
+        movi %a, 3
+    join:
+        store %a, [%x]
+        halt
+        """,
+        "t",
+    )
+    out = rename_webs(p)
+    # Both defs of %a reach the same use: one web.
+    a_names = {n for n in names(out) if n.startswith("a")}
+    assert a_names == {"a"}
+
+
+def test_loop_carried_value_is_one_web():
+    p = parse_program(
+        """
+        movi %i, 0
+    loop:
+        addi %i, %i, 1
+        blti %i, 5, loop
+        store %i, [%i]
+        halt
+        """,
+        "t",
+    )
+    out = rename_webs(p)
+    assert {n for n in names(out) if n.startswith("i")} == {"i"}
+
+
+def test_renaming_preserves_semantics(mini_kernel):
+    out = rename_webs(mini_kernel)
+    a = run_reference([mini_kernel], packets_per_thread=4)
+    b = run_reference([out], packets_per_thread=4)
+    assert outputs_match(a, b)
+
+
+def test_renaming_is_idempotent():
+    p = parse_program(
+        """
+        movi %t, 1
+        store %t, [%t]
+        movi %t, 2
+        store %t, [%t]
+        halt
+        """,
+        "t",
+    )
+    once = rename_webs(p)
+    twice = rename_webs(once)
+    assert [str(i) for i in once.instrs] == [str(i) for i in twice.instrs]
+
+
+def test_entry_live_uses_form_one_web():
+    p = parse_program(
+        "store %x, [%x]\nstore %x, [%x + 1]\nhalt\n", "t"
+    )
+    out = rename_webs(p)
+    assert {n for n in names(out) if n.startswith("x")} == {"x"}
+
+
+def test_benchmark_scratch_reuse_is_split():
+    from repro.suite import load
+
+    md5 = load("md5")
+    out = rename_webs(md5)
+    nb_webs = {n for n in names(out) if n.startswith("nb")}
+    assert len(nb_webs) > 1  # the per-step scratch splits into many webs

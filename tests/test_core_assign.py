@@ -1,0 +1,71 @@
+"""Unit tests for physical register assignment."""
+
+import pytest
+
+from repro.core.analysis import analyze_thread
+from repro.core.assign import ThreadRegisterMap, assign_physical
+from repro.core.inter import allocate_threads
+from repro.errors import AllocationError
+from repro.ir.operands import PhysReg
+from repro.ir.parser import parse_program
+from tests.conftest import FIG3_T1, FIG3_T2
+
+
+def result_for(nreg=64):
+    ans = [
+        analyze_thread(parse_program(FIG3_T1, "t1")),
+        analyze_thread(parse_program(FIG3_T2, "t2")),
+    ]
+    return allocate_threads(ans, nreg=nreg)
+
+
+def test_private_windows_disjoint():
+    result = result_for()
+    assignment = assign_physical(result)
+    windows = [m.private_registers() for m in assignment.maps]
+    for i in range(len(windows)):
+        for j in range(i + 1, len(windows)):
+            a, b = windows[i], windows[j]
+            assert a[1] <= b[0] or b[1] <= a[0]
+
+
+def test_shared_window_after_privates():
+    result = result_for()
+    assignment = assign_physical(result)
+    s0, s1 = assignment.shared_registers()
+    assert s0 == sum(t.pr for t in result.threads)
+    assert s1 - s0 == result.sgr
+    for m in assignment.maps:
+        assert m.private_registers()[1] <= s0
+
+
+def test_shared_colors_map_identically_across_threads():
+    result = result_for()
+    assignment = assign_physical(result)
+    for m in assignment.maps:
+        for k in range(m.sr):
+            assert m.phys(m.pr + k) == PhysReg(assignment.shared_base + k)
+
+
+def test_private_colors_map_into_own_window():
+    result = result_for()
+    assignment = assign_physical(result)
+    for m in assignment.maps:
+        lo, hi = m.private_registers()
+        for c in range(m.pr):
+            assert lo <= m.phys(c).index < hi
+
+
+def test_color_out_of_palette_rejected():
+    m = ThreadRegisterMap(private_base=0, pr=2, sr=1, shared_base=10)
+    with pytest.raises(AllocationError):
+        m.phys(3)
+    with pytest.raises(AllocationError):
+        m.phys(-1)
+
+
+def test_over_budget_rejected():
+    result = result_for()
+    result.nreg = result.total_registers - 1
+    with pytest.raises(AllocationError):
+        assign_physical(result)

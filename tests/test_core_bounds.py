@@ -1,0 +1,57 @@
+"""Unit tests for register-requirement bounds."""
+
+import pytest
+
+from repro.core.analysis import analyze_thread
+from repro.core.bounds import estimate_bounds
+from repro.igraph.coloring import validate_coloring
+from repro.suite.registry import BENCHMARKS, load
+
+
+def bounds_of(program):
+    an = analyze_thread(program)
+    return an, estimate_bounds(an)
+
+
+def test_fig3_bounds(fig3_t1):
+    an, b = bounds_of(fig3_t1)
+    # Paper: MinPR = 1 (only %a crosses a CSB), MinR = 2 (pressure),
+    # MaxR = 3 (the a-b-c triangle forces a third color without moves).
+    assert b.min_pr == 1
+    assert b.min_r == 2
+    assert b.max_r == 3
+
+
+def test_ordering_invariants_on_fixtures(straight, fig3_t1, mini_kernel):
+    for program in (straight, fig3_t1, mini_kernel):
+        an, b = bounds_of(program)
+        assert b.min_pr <= b.max_pr
+        assert b.min_r <= b.max_r
+        assert b.max_pr <= b.max_r
+        assert b.min_pr <= b.min_r
+
+
+@pytest.mark.parametrize("name", sorted(BENCHMARKS))
+def test_ordering_invariants_on_suite(name):
+    an, b = bounds_of(load(name))
+    assert b.min_pr <= b.max_pr <= b.max_r
+    assert b.min_pr <= b.min_r <= b.max_r
+
+
+def test_estimation_coloring_is_valid(mini_kernel):
+    an, b = bounds_of(mini_kernel)
+    validate_coloring(an.graphs.gig, b.coloring)
+    for reg in an.graphs.boundary:
+        assert b.coloring[reg] < b.max_pr
+    assert all(0 <= c < b.max_r for c in b.coloring.values())
+
+
+def test_csb_free_program_needs_no_private():
+    from repro.ir.parser import parse_program
+
+    p = parse_program(
+        "movi %a, 1\nmovi %b, 2\nadd %a, %a, %b\nhalt\n", "t"
+    )
+    an, b = bounds_of(p)
+    assert b.min_pr == 0
+    assert b.min_r == 2

@@ -1,0 +1,106 @@
+"""Unit tests for allocation contexts (pieces, conflicts, splitting)."""
+
+import pytest
+
+from repro.core.analysis import analyze_thread
+from repro.core.bounds import estimate_bounds
+from repro.core.context import AllocContext, initial_context
+from repro.errors import AllocationError
+from repro.ir.operands import VirtualReg
+
+
+def v(name):
+    return VirtualReg(name)
+
+
+def build(program):
+    an = analyze_thread(program)
+    b = estimate_bounds(an)
+    ctx = initial_context(an, b.coloring, b.max_pr, b.max_r - b.max_pr)
+    return an, b, ctx
+
+
+def test_initial_context_valid(fig3_t1):
+    an, b, ctx = build(fig3_t1)
+    ctx.validate()
+    assert ctx.pr == b.max_pr
+    assert ctx.r == b.max_r
+
+
+def test_boundary_classification(fig3_t1):
+    an, b, ctx = build(fig3_t1)
+    a_piece = ctx.pieces_of(v("a"))[0]
+    assert ctx.is_boundary(a_piece)
+    b_piece = ctx.pieces_of(v("b"))[0]
+    assert not ctx.is_boundary(b_piece)
+
+
+def test_move_cost_zero_when_unsplit(fig3_t1):
+    an, b, ctx = build(fig3_t1)
+    assert ctx.move_cost() == 0
+    assert ctx.crossing_edges() == []
+
+
+def test_split_creates_crossings(straight):
+    an, b, ctx = build(straight)
+    piece = ctx.pieces_of(v("a"))[0]
+    # Carve off the tail of %a's range with a different color.
+    part = frozenset({3, 4})
+    fresh_color = ctx.r - 1
+    fragment = ctx.split_piece(piece, part, piece.color)
+    fragment.color = (piece.color + 1) % ctx.r
+    cost = ctx.move_cost()
+    assert cost >= 1
+    assert len(ctx.crossing_edges()) == cost
+    assert v("a") in ctx.multi_piece_regs
+
+
+def test_split_requires_proper_subset(straight):
+    an, b, ctx = build(straight)
+    piece = ctx.pieces_of(v("a"))[0]
+    with pytest.raises(AllocationError):
+        ctx.split_piece(piece, piece.slots, 0)
+    with pytest.raises(AllocationError):
+        ctx.split_piece(piece, frozenset(), 0)
+
+
+def test_copy_is_independent(straight):
+    an, b, ctx = build(straight)
+    clone = ctx.copy()
+    piece = clone.pieces_of(v("a"))[0]
+    clone.split_piece(piece, frozenset({4}), piece.color)
+    assert len(ctx.pieces_of(v("a"))) == 1
+    assert len(clone.pieces_of(v("a"))) == 2
+
+
+def test_conflict_profile_matches_pointwise_queries(fig3_t1):
+    an, b, ctx = build(fig3_t1)
+    for piece in ctx.all_pieces():
+        profile = ctx.conflict_profile(piece)
+        for color in range(ctx.r):
+            listed = ctx.conflicts_with_color(piece, color)
+            if color in profile:
+                assert {p.pid for p in profile[color][0]} == {
+                    p.pid for p, _ in listed
+                }
+            else:
+                assert listed == []
+
+
+def test_validate_rejects_shared_boundary(straight):
+    an, b, ctx = build(straight)
+    piece = ctx.pieces_of(v("a"))[0]
+    assert ctx.is_boundary(piece)
+    piece.color = ctx.r - 1 if ctx.r - 1 >= ctx.pr else piece.color
+    if piece.color >= ctx.pr:
+        with pytest.raises(AllocationError):
+            ctx.validate()
+
+
+def test_validate_rejects_conflicting_colors(fig3_t1):
+    an, b, ctx = build(fig3_t1)
+    pb = ctx.pieces_of(v("b"))[0]
+    pc = ctx.pieces_of(v("c"))[0]
+    pc.color = pb.color
+    with pytest.raises(AllocationError):
+        ctx.validate()

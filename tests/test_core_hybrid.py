@@ -1,0 +1,52 @@
+"""Tests for the spill-fallback hybrid allocation."""
+
+import pytest
+
+from repro.core.pipeline import (
+    allocate_programs,
+    allocate_with_spill_fallback,
+)
+from repro.errors import AllocationError
+from repro.ir.parser import parse_program
+from repro.sim.run import outputs_match, run_reference, run_threads
+from tests.conftest import MINI_KERNEL
+
+
+def kernels(n):
+    return [parse_program(MINI_KERNEL, f"k{i}") for i in range(n)]
+
+
+def test_no_spill_when_budget_sufficient():
+    result = allocate_with_spill_fallback(kernels(2), nreg=32)
+    assert result.total_spilled == 0
+    assert result.outcome.total_registers <= 32
+
+
+def test_fallback_engages_below_floor():
+    programs = kernels(2)
+    # Two kernels need 4+4 private plus 2 shared = 10 at their floors.
+    with pytest.raises(AllocationError):
+        allocate_programs([p.copy() for p in programs], nreg=8)
+    result = allocate_with_spill_fallback(programs, nreg=8)
+    assert result.total_spilled > 0
+    assert result.outcome.total_registers <= 8
+
+
+def test_fallback_output_preserves_semantics():
+    programs = kernels(2)
+    result = allocate_with_spill_fallback(programs, nreg=8)
+    ref = run_reference(programs, packets_per_thread=3)
+    got = run_threads(
+        result.outcome.programs,
+        packets_per_thread=3,
+        nreg=8,
+        assignment=result.outcome.assignment,
+    )
+    assert outputs_match(ref, got)
+
+
+def test_truly_impossible_budget_still_raises():
+    with pytest.raises(AllocationError):
+        allocate_with_spill_fallback(
+            kernels(2), nreg=3, max_spill_rounds=3
+        )

@@ -1,0 +1,94 @@
+"""Unit tests for the inter-thread allocator (Figure 8)."""
+
+import pytest
+
+from repro.core.analysis import analyze_thread
+from repro.core.bounds import estimate_bounds
+from repro.core.inter import allocate_threads
+from repro.errors import AllocationError
+from repro.ir.parser import parse_program
+from repro.suite.registry import load
+from tests.conftest import FIG3_T1, FIG3_T2, MINI_KERNEL
+
+
+def analyses(*texts_names):
+    return [
+        analyze_thread(parse_program(text, name))
+        for text, name in texts_names
+    ]
+
+
+def test_fits_without_reduction():
+    ans = analyses((FIG3_T1, "t1"), (FIG3_T2, "t2"))
+    result = allocate_threads(ans, nreg=64)
+    assert result.fits()
+    assert result.total_moves == 0
+    for t, an in zip(result.threads, ans):
+        b = estimate_bounds(an)
+        assert t.pr == b.max_pr
+
+
+def test_budget_accounting():
+    ans = analyses((MINI_KERNEL, "a"), (MINI_KERNEL, "b"))
+    result = allocate_threads(ans, nreg=64)
+    assert result.total_registers == result.total_private + result.sgr
+    assert result.sgr == max(t.sr for t in result.threads)
+
+
+def test_reduction_down_to_tight_budget():
+    ans = analyses((FIG3_T1, "t1"), (FIG3_T2, "t2"))
+    # Lower bounds: t1 needs PR>=1, R>=2; t2 needs PR>=1 (base lives
+    # across ctx), R>=2.  Make the budget exactly the floor.
+    floor = allocate_threads(ans, nreg=64)
+    tight = sum(estimate_bounds(a).min_pr for a in ans) + max(
+        estimate_bounds(a).min_r - estimate_bounds(a).min_pr for a in ans
+    )
+    result = allocate_threads(ans, nreg=tight)
+    assert result.fits()
+    for t in result.threads:
+        t.context.validate()
+
+
+def test_infeasible_budget_raises():
+    ans = analyses((FIG3_T1, "t1"), (FIG3_T2, "t2"))
+    with pytest.raises(AllocationError):
+        allocate_threads(ans, nreg=2)
+
+
+def test_zero_cost_mode_inserts_no_moves():
+    ans = [analyze_thread(load("url")) for _ in range(4)]
+    result = allocate_threads(ans, nreg=128, zero_cost_only=True)
+    assert result.total_moves == 0
+    for t in result.threads:
+        t.context.validate()
+
+
+def test_zero_cost_mode_reaches_at_most_upper_bounds():
+    ans = [analyze_thread(load("frag")) for _ in range(2)]
+    result = allocate_threads(ans, nreg=128, zero_cost_only=True)
+    for t, a in zip(result.threads, ans):
+        b = estimate_bounds(a)
+        assert b.min_pr <= t.pr <= b.max_pr
+
+
+def test_round_robin_policy_also_converges():
+    ans = analyses((FIG3_T1, "t1"), (FIG3_T2, "t2"))
+    greedy = allocate_threads(ans, nreg=5)
+    rr = allocate_threads(ans, nreg=5, policy="round_robin")
+    assert greedy.fits() and rr.fits()
+    # The ablation may cost more moves, never fewer than the greedy... at
+    # least both must be valid; cost relation is checked loosely.
+    assert rr.total_moves >= 0
+
+
+def test_unknown_policy_rejected():
+    ans = analyses((FIG3_T1, "t1"),)
+    with pytest.raises(ValueError):
+        allocate_threads(ans, nreg=16, policy="bogus")
+
+
+def test_single_thread_degenerates_gracefully():
+    ans = analyses((MINI_KERNEL, "only"),)
+    result = allocate_threads(ans, nreg=16)
+    assert result.fits()
+    assert len(result.threads) == 1

@@ -1,0 +1,126 @@
+"""Unit tests for the intra-thread allocator (Reduce-PR/SR, splitting)."""
+
+import pytest
+
+from repro.core.analysis import analyze_thread
+from repro.core.bounds import estimate_bounds
+from repro.core.intra import IntraAllocator
+from repro.errors import AllocationError
+from repro.suite.registry import load
+
+
+def allocator_for(program):
+    an = analyze_thread(program)
+    return IntraAllocator(an)
+
+
+def test_initial_context_matches_upper_bounds(fig3_t1):
+    alloc = allocator_for(fig3_t1)
+    assert alloc.context.pr == alloc.bounds.max_pr
+    assert alloc.context.r == alloc.bounds.max_r
+    assert alloc.context.move_cost() == 0
+
+
+def test_fig3_reaches_lower_bound_with_one_move(fig3_t1):
+    # The paper's Figure 3: R = 2 is reachable with a single move.
+    alloc = allocator_for(fig3_t1)
+    ctx = alloc.realize(1, 1)
+    ctx.validate()
+    assert ctx.move_cost() == 1
+
+
+def test_fig3_zero_moves_at_max(fig3_t1):
+    alloc = allocator_for(fig3_t1)
+    ctx = alloc.realize(alloc.bounds.max_pr, alloc.bounds.max_sr)
+    assert ctx.move_cost() == 0
+
+
+def test_realize_below_bounds_rejected(fig3_t1):
+    alloc = allocator_for(fig3_t1)
+    with pytest.raises(AllocationError):
+        alloc.realize(0, 5)
+    with pytest.raises(AllocationError):
+        alloc.realize(1, 0)  # pr + sr < min_r
+
+
+def test_realize_cannot_grow(fig3_t1):
+    alloc = allocator_for(fig3_t1)
+    with pytest.raises(AllocationError):
+        alloc.realize(alloc.bounds.max_pr + 1, 0)
+
+
+def test_probe_does_not_mutate_accepted_context(mini_kernel):
+    alloc = allocator_for(mini_kernel)
+    before = alloc.context.move_cost()
+    pr_before = alloc.context.pr
+    alloc.probe_reduce_pr()
+    alloc.probe_reduce_sr()
+    alloc.probe_shift()
+    assert alloc.context.pr == pr_before
+    assert alloc.context.move_cost() == before
+
+
+def test_commit_applies_probe(mini_kernel):
+    alloc = allocator_for(mini_kernel)
+    res = alloc.probe_reduce_sr() or alloc.probe_reduce_pr()
+    if res is None:
+        pytest.skip("fixture already at both lower bounds")
+    pr_sr = (res.context.pr, res.context.sr)
+    alloc.commit(res)
+    assert (alloc.context.pr, alloc.context.sr) == pr_sr
+
+
+def test_shift_keeps_total_palette(mini_kernel):
+    alloc = allocator_for(mini_kernel)
+    r = alloc.context.r
+    res = alloc.probe_shift()
+    if res is None:
+        pytest.skip("shift infeasible for fixture")
+    assert res.context.r == r
+    assert res.context.pr == alloc.context.pr - 1
+    res.context.validate()
+
+
+@pytest.mark.parametrize("name", ["frag", "drr", "url", "l2l3fwd_send"])
+def test_every_feasible_point_realizable(name):
+    program = load(name)
+    an = analyze_thread(program)
+    bounds = estimate_bounds(an)
+    for pr in range(bounds.min_pr, bounds.max_pr + 1):
+        for sr in range(0, bounds.max_r - bounds.min_pr + 1):
+            if pr + sr < bounds.min_r or pr + sr > bounds.max_r:
+                continue
+            alloc = IntraAllocator(an, bounds)
+            ctx = alloc.realize(pr, sr)
+            ctx.validate()
+            assert ctx.pr == pr and ctx.sr == sr
+
+
+def test_pointwise_always_valid(mini_kernel):
+    alloc = allocator_for(mini_kernel)
+    b = alloc.bounds
+    ctx = alloc.pointwise(b.min_pr, b.min_r - b.min_pr)
+    ctx.validate()
+
+
+def test_pointwise_respects_bounds(mini_kernel):
+    alloc = allocator_for(mini_kernel)
+    with pytest.raises(AllocationError):
+        alloc.pointwise(alloc.bounds.min_pr - 1, 100)
+
+
+def test_move_cost_monotone_reporting(fig3_t1):
+    # Reducing the palette can only keep or increase the move cost.
+    alloc = allocator_for(fig3_t1)
+    costs = []
+    b = alloc.bounds
+    for r_target in range(b.max_r, b.min_r - 1, -1):
+        a2 = IntraAllocator(alloc.analysis, b)
+        sr = max(r_target - b.max_pr, 0)
+        pr = r_target - sr
+        if pr < b.min_pr:
+            pr = b.min_pr
+            sr = r_target - pr
+        ctx = a2.realize(pr, sr)
+        costs.append(ctx.move_cost())
+    assert costs == sorted(costs)

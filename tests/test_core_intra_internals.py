@@ -1,0 +1,141 @@
+"""White-box tests for the intra-thread allocator's split machinery."""
+
+import pytest
+
+from repro.core.analysis import analyze_thread
+from repro.core.bounds import estimate_bounds
+from repro.core.context import initial_context
+from repro.core.intra import IntraAllocator
+from repro.ir.operands import VirtualReg
+from repro.ir.parser import parse_program
+from tests.conftest import FIG3_T1, MINI_KERNEL
+
+
+def v(name):
+    return VirtualReg(name)
+
+
+def fresh(program_text, name="t"):
+    an = analyze_thread(parse_program(program_text, name))
+    bounds = estimate_bounds(an)
+    alloc = IntraAllocator(an, bounds)
+    return an, bounds, alloc
+
+
+def test_swap_colors():
+    an, bounds, alloc = fresh(FIG3_T1)
+    ctx = alloc.context.copy()
+    before = {p.pid: p.color for p in ctx.all_pieces()}
+    colors = sorted({p.color for p in ctx.all_pieces()})
+    if len(colors) < 2:
+        pytest.skip("not enough colors to swap")
+    a, b = colors[0], colors[1]
+    alloc._swap_colors(ctx, a, b)
+    for piece in ctx.all_pieces():
+        old = before[piece.pid]
+        if old == a:
+            assert piece.color == b
+        elif old == b:
+            assert piece.color == a
+        else:
+            assert piece.color == old
+
+
+def test_swap_same_color_noop():
+    an, bounds, alloc = fresh(FIG3_T1)
+    ctx = alloc.context.copy()
+    before = {p.pid: p.color for p in ctx.all_pieces()}
+    alloc._swap_colors(ctx, 0, 0)
+    assert {p.pid: p.color for p in ctx.all_pieces()} == before
+
+
+def test_shatter_produces_single_slot_fragments():
+    an, bounds, alloc = fresh(MINI_KERNEL, "k")
+    ctx = alloc.context.copy()
+    piece = max(ctx.all_pieces(), key=lambda p: len(p.slots))
+    n_slots = len(piece.slots)
+    if n_slots < 2:
+        pytest.skip("largest piece already atomic")
+    fresh_pids = alloc._shatter(ctx, piece, protected=set())
+    assert fresh_pids is not None
+    assert len(fresh_pids) == n_slots  # n-1 fragments + the piece itself
+    for pid in fresh_pids:
+        assert len(ctx.pieces[pid].slots) == 1
+
+
+def test_shatter_refuses_single_slot():
+    an, bounds, alloc = fresh(MINI_KERNEL, "k")
+    ctx = alloc.context.copy()
+    piece = min(ctx.all_pieces(), key=lambda p: len(p.slots))
+    if len(piece.slots) != 1:
+        pytest.skip("no single-slot piece in fixture")
+    assert alloc._shatter(ctx, piece, protected=set()) is None
+
+
+def test_eliminate_color_reports_failure_cleanly():
+    # A clique at a CSB cannot lose a private color below MinPR; the
+    # helper must return False rather than corrupt the context.
+    an, bounds, alloc = fresh(
+        """
+        movi %a, 1
+        movi %b, 2
+        movi %c, 3
+        ctx
+        store %a, [%b]
+        store %b, [%c]
+        store %c, [%a]
+        halt
+        """
+    )
+    assert bounds.min_pr == 3
+    ctx = alloc.context.copy()
+    ok = alloc._eliminate_color(ctx, 0)
+    if not ok:
+        alloc.context.validate()  # accepted context untouched
+
+
+def test_reduce_keeps_accepted_context_valid_after_many_steps():
+    an, bounds, alloc = fresh(MINI_KERNEL, "k")
+    steps = 0
+    while steps < 10:
+        res = alloc.probe_reduce_pr() or alloc.probe_reduce_sr()
+        if res is None:
+            break
+        alloc.commit(res)
+        alloc.context.validate()
+        steps += 1
+    assert alloc.context.pr >= bounds.min_pr
+    assert alloc.context.r >= bounds.min_r
+
+
+def test_eliminate_unnecessary_moves_reduces_cost():
+    an, bounds, alloc = fresh(FIG3_T1)
+    ctx = alloc.context.copy()
+    # Split %b artificially with a pointless color change, then let the
+    # move-elimination pass absorb it back.
+    piece = ctx.pieces_of(v("b"))[0]
+    if len(piece.slots) < 2:
+        pytest.skip("b too small to split in this shape")
+    part = frozenset([max(piece.slots)])
+    frag = ctx.split_piece(piece, part, piece.color)
+    other = next(
+        c for c in range(ctx.r) if c != piece.color
+        and not ctx.conflicts_with_color(frag, c)
+    )
+    frag.color = other
+    cost_before = ctx.move_cost()
+    assert cost_before >= 1
+    alloc._eliminate_unnecessary_moves(ctx)
+    assert ctx.move_cost() < cost_before
+
+
+def test_probe_shift_respects_min_pr():
+    an, bounds, alloc = fresh(FIG3_T1)
+    # Drive PR to its minimum first.
+    while alloc.context.pr > bounds.min_pr:
+        res = alloc.probe_reduce_pr() or alloc.probe_shift()
+        if res is None:
+            break
+        alloc.commit(res)
+    if alloc.context.pr == bounds.min_pr:
+        assert alloc.probe_shift() is None

@@ -1,0 +1,67 @@
+"""Integration tests for the one-call allocation pipeline."""
+
+import pytest
+
+from repro.core.pipeline import allocate_programs
+from repro.errors import AllocationError, ValidationError
+from repro.ir.parser import parse_program
+from repro.sim.run import outputs_match, run_reference, run_threads
+from tests.conftest import FIG3_T2, MINI_KERNEL
+
+
+def programs(n=4):
+    return [parse_program(MINI_KERNEL, f"k{i}") for i in range(n)]
+
+
+def test_pipeline_end_to_end():
+    out = allocate_programs(programs(), nreg=128)
+    assert out.total_registers <= 128
+    ref = run_reference(out.source_programs, packets_per_thread=5)
+    got = run_threads(
+        out.programs, packets_per_thread=5, assignment=out.assignment
+    )
+    assert outputs_match(ref, got)
+
+
+def test_pipeline_squeezed_budget():
+    out = allocate_programs(programs(2), nreg=14)
+    assert out.total_registers <= 14
+    ref = run_reference(out.source_programs, packets_per_thread=5)
+    got = run_threads(
+        out.programs,
+        packets_per_thread=5,
+        nreg=14,
+        assignment=out.assignment,
+    )
+    assert outputs_match(ref, got)
+
+
+def test_pipeline_validates_input():
+    bad = parse_program("add %a, %b, %b\nhalt\n", "bad")
+    with pytest.raises(ValidationError):
+        allocate_programs([bad], nreg=16)
+
+
+def test_pipeline_infeasible_budget():
+    with pytest.raises(AllocationError):
+        allocate_programs(programs(4), nreg=6)
+
+
+def test_summary_mentions_threads():
+    out = allocate_programs(programs(2), nreg=64)
+    text = out.summary()
+    assert "k0" in text and "k1" in text
+    assert "SGR" in text
+
+
+def test_mixed_workloads():
+    mix = [
+        parse_program(MINI_KERNEL, "kernel"),
+        parse_program(FIG3_T2, "toy"),
+    ]
+    out = allocate_programs(mix, nreg=32)
+    ref = run_reference(mix, packets_per_thread=4)
+    got = run_threads(
+        out.programs, packets_per_thread=4, assignment=out.assignment
+    )
+    assert outputs_match(ref, got)

@@ -1,0 +1,110 @@
+"""Unit tests for code rewriting and parallel-copy sequencing."""
+
+import pytest
+
+from repro.core.analysis import analyze_thread
+from repro.core.assign import ThreadRegisterMap
+from repro.core.intra import IntraAllocator
+from repro.core.rewrite import rewrite_program, sequence_parallel_copy
+from repro.errors import AllocationError
+from repro.ir.opcodes import Opcode
+from repro.ir.operands import PhysReg, VirtualReg
+from repro.ir.parser import parse_program
+from repro.ir.validate import validate_program
+from repro.sim.run import outputs_match, run_reference, run_threads
+from tests.conftest import FIG3_T1, MINI_KERNEL
+
+
+def r(i):
+    return PhysReg(i)
+
+
+def test_sequence_simple_chain():
+    # r1 <- r0, r2 <- r1 must read r1 before overwriting it.
+    out = sequence_parallel_copy([(r(1), r(0)), (r(2), r(1))])
+    assert [str(i) for i in out] == ["mov $r2, $r1", "mov $r1, $r0"]
+
+
+def test_sequence_drops_identity():
+    assert sequence_parallel_copy([(r(3), r(3))]) == []
+
+
+def test_sequence_duplicate_dst_rejected():
+    with pytest.raises(AllocationError):
+        sequence_parallel_copy([(r(1), r(0)), (r(1), r(2))])
+
+
+def test_sequence_swap_uses_xor():
+    out = sequence_parallel_copy([(r(0), r(1)), (r(1), r(0))])
+    assert all(i.opcode is Opcode.XOR for i in out)
+    assert len(out) == 3
+
+
+def test_sequence_three_cycle():
+    out = sequence_parallel_copy([(r(0), r(1)), (r(1), r(2)), (r(2), r(0))])
+    # Simulate the sequence over a toy register file.
+    regs = {0: 100, 1: 101, 2: 102}
+
+    def val(reg):
+        return regs[reg.index]
+
+    for instr in out:
+        if instr.opcode is Opcode.MOV:
+            d, s = instr.operands
+            regs[d.index] = val(s)
+        else:  # XOR
+            d, a, b = instr.operands
+            regs[d.index] = val(a) ^ val(b)
+    assert regs == {0: 101, 1: 102, 2: 100}
+
+
+def _rewrite(program_text, name, pr=None, sr=None):
+    program = parse_program(program_text, name)
+    an = analyze_thread(program)
+    alloc = IntraAllocator(an)
+    if pr is None:
+        pr, sr = alloc.bounds.max_pr, alloc.bounds.max_sr
+    ctx = alloc.realize(pr, sr)
+    regmap = ThreadRegisterMap(
+        private_base=0, pr=pr, sr=sr, shared_base=pr
+    )
+    out = rewrite_program(an, ctx, regmap)
+    validate_program(out, check_init=False)
+    return program, out, ctx
+
+
+def test_rewrite_uses_only_physical_registers():
+    program, out, ctx = _rewrite(MINI_KERNEL, "k")
+    assert not out.virtual_regs()
+    assert out.phys_regs()
+
+
+def test_rewrite_no_moves_when_unsplit():
+    program, out, ctx = _rewrite(MINI_KERNEL, "k")
+    assert ctx.move_cost() == 0
+    assert len(out.instrs) == len(program.instrs)
+
+
+def test_rewrite_with_split_inserts_moves_and_preserves_semantics():
+    program, out, ctx = _rewrite(FIG3_T1, "t", pr=1, sr=1)
+    assert ctx.move_cost() >= 1
+    assert out.count_opcode(Opcode.MOV) >= program.count_opcode(Opcode.MOV)
+    a = run_reference([program])
+    b = run_threads([out], nreg=4)
+    assert outputs_match(a, b)
+
+
+def test_rewrite_kernel_at_minimum_preserves_semantics():
+    program = parse_program(MINI_KERNEL, "k")
+    an = analyze_thread(program)
+    alloc = IntraAllocator(an)
+    b = alloc.bounds
+    ctx = alloc.realize(b.min_pr, b.min_r - b.min_pr)
+    regmap = ThreadRegisterMap(
+        private_base=0, pr=ctx.pr, sr=ctx.sr, shared_base=ctx.pr
+    )
+    out = rewrite_program(an, ctx, regmap)
+    validate_program(out, check_init=False)
+    ref = run_reference([program], packets_per_thread=5)
+    got = run_threads([out], packets_per_thread=5, nreg=b.min_r)
+    assert outputs_match(ref, got)

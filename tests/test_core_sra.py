@@ -1,0 +1,47 @@
+"""Unit tests for symmetric register allocation (section 8)."""
+
+import pytest
+
+from repro.core.analysis import analyze_thread
+from repro.core.sra import allocate_symmetric
+from repro.errors import AllocationError
+from repro.ir.parser import parse_program
+from repro.suite.registry import load
+from tests.conftest import FIG3_T1, MINI_KERNEL
+
+
+def test_symmetric_budget_respected():
+    an = analyze_thread(parse_program(MINI_KERNEL, "k"))
+    result = allocate_symmetric(an, nthd=4, nreg=32)
+    assert result.total_registers <= 32
+    result.context.validate()
+
+
+def test_symmetric_prefers_zero_moves_when_affordable():
+    an = analyze_thread(parse_program(MINI_KERNEL, "k"))
+    result = allocate_symmetric(an, nthd=4, nreg=128)
+    assert result.move_cost == 0
+
+
+def test_symmetric_tight_budget_inserts_moves():
+    an = analyze_thread(parse_program(FIG3_T1, "t"))
+    # Four threads, bounds MinPR=1, MinR=2: floor is 4*1 + 1 = 5.
+    result = allocate_symmetric(an, nthd=4, nreg=5)
+    assert result.total_registers <= 5
+    assert result.pr == 1
+    assert result.move_cost >= 1
+    result.context.validate()
+
+
+def test_symmetric_infeasible_raises():
+    an = analyze_thread(parse_program(FIG3_T1, "t"))
+    with pytest.raises(AllocationError):
+        allocate_symmetric(an, nthd=4, nreg=4)
+
+
+def test_symmetric_on_benchmark():
+    an = analyze_thread(load("frag"))
+    result = allocate_symmetric(an, nthd=4, nreg=128)
+    assert result.total_registers <= 128
+    assert result.nthd == 4
+    result.context.validate()

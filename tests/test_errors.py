@@ -1,0 +1,47 @@
+"""Unit tests for the exception hierarchy."""
+
+import pytest
+
+from repro.errors import (
+    AllocationError,
+    AsmSyntaxError,
+    ReproError,
+    SafetyViolation,
+    SimulationError,
+    ValidationError,
+)
+
+
+def test_hierarchy():
+    for exc in (
+        AsmSyntaxError,
+        ValidationError,
+        AllocationError,
+        SimulationError,
+        SafetyViolation,
+    ):
+        assert issubclass(exc, ReproError)
+    assert issubclass(SafetyViolation, SimulationError)
+
+
+def test_asm_syntax_error_formats_location():
+    err = AsmSyntaxError("bad token", line_no=7, line="  frob %x\n")
+    assert "line 7" in str(err)
+    assert "frob" in str(err)
+    assert err.line_no == 7
+
+
+def test_asm_syntax_error_without_location():
+    err = AsmSyntaxError("empty program")
+    assert str(err) == "empty program"
+
+
+def test_library_raises_only_repro_errors():
+    from repro.ir.parser import parse_program
+
+    with pytest.raises(ReproError):
+        parse_program("???", "x")
+    from repro.ir.validate import validate_program
+
+    with pytest.raises(ReproError):
+        validate_program(parse_program("movi %a, 1\nmovi %b, 2\n", "x"))

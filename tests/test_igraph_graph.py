@@ -1,0 +1,58 @@
+"""Unit tests for the undirected graph type."""
+
+import pytest
+
+from repro.igraph.graph import UndirectedGraph
+
+
+def g_with(*edges):
+    g = UndirectedGraph()
+    for a, b in edges:
+        g.add_edge(a, b)
+    return g
+
+
+def test_add_edge_symmetry():
+    g = g_with(("a", "b"))
+    assert g.has_edge("a", "b") and g.has_edge("b", "a")
+    assert g.degree("a") == 1
+
+
+def test_self_loop_rejected():
+    g = UndirectedGraph()
+    with pytest.raises(ValueError):
+        g.add_edge("a", "a")
+
+
+def test_nodes_sorted_deterministically():
+    g = g_with(("c", "a"), ("b", "a"))
+    assert g.nodes() == ["a", "b", "c"]
+
+
+def test_edges_listed_once():
+    g = g_with(("a", "b"), ("b", "c"), ("a", "c"))
+    assert g.edges() == [("a", "b"), ("a", "c"), ("b", "c")]
+    assert g.n_edges() == 3
+
+
+def test_remove_node_cleans_neighbors():
+    g = g_with(("a", "b"), ("b", "c"))
+    g.remove_node("b")
+    assert "b" not in g
+    assert g.degree("a") == 0 and g.degree("c") == 0
+
+
+def test_copy_is_independent():
+    g = g_with(("a", "b"))
+    h = g.copy()
+    h.remove_node("a")
+    assert g.has_edge("a", "b")
+    assert "a" not in h
+
+
+def test_subgraph():
+    g = g_with(("a", "b"), ("b", "c"), ("c", "d"))
+    sub = g.subgraph(["a", "b", "c"])
+    assert sub.has_edge("a", "b") and sub.has_edge("b", "c")
+    assert "d" not in sub
+    assert sub.n_edges() == 2

@@ -1,0 +1,80 @@
+"""Edge-case tests for the region-coloring merge (Figure 7)."""
+
+from repro.cfg.liveness import compute_liveness
+from repro.cfg.nsr import compute_nsr
+from repro.igraph.coloring import validate_coloring
+from repro.igraph.interference import build_interference
+from repro.igraph.merge import merge_region_colorings
+from repro.ir.operands import VirtualReg
+from repro.ir.parser import parse_program
+
+
+def merged_for(text):
+    p = parse_program(text, "t")
+    lv = compute_liveness(p)
+    g = build_interference(lv, compute_nsr(lv))
+    m = merge_region_colorings(g)
+    validate_coloring(g.gig, m.coloring)
+    for node in g.boundary:
+        assert m.coloring[node] < m.max_pr
+    return g, m
+
+
+def test_no_csb_program_all_shared():
+    g, m = merged_for("movi %a, 1\nmovi %b, 2\nadd %a, %a, %b\nhalt\n")
+    assert m.max_pr == 0
+    assert m.max_r >= 2
+
+
+def test_single_range_program():
+    g, m = merged_for("movi %a, 1\nstore %a, [%a]\nhalt\n")
+    assert m.max_r >= 1
+
+
+def test_internal_widening_counts_only_r():
+    # Three internal values overlapping in one NSR, no boundary at all.
+    g, m = merged_for(
+        """
+        movi %a, 1
+        movi %b, 2
+        movi %c, 3
+        add %d, %a, %b
+        add %d, %d, %c
+        store %d, [%a]
+        halt
+        """
+    )
+    assert m.max_pr <= 1
+    assert m.max_r >= 3
+
+
+def test_boundary_widening_shifts_shared_colors():
+    # Two boundary ranges interfering only internally (different CSBs)
+    # plus internal pressure: the merge must keep private colors a
+    # contiguous prefix even when it widens PR.
+    g, m = merged_for(
+        """
+        movi %a, 1
+        ctx
+        movi %b, 2
+        add %x, %a, %b
+        movi %t1, 5
+        movi %t2, 6
+        add %x, %t1, %t2
+        store %x, [%a]
+        store %b, [%b]
+        halt
+        """
+    )
+    for node in g.gig.nodes():
+        if node not in g.boundary:
+            assert 0 <= m.coloring[node] < m.max_r
+
+
+def test_merge_deterministic(mini_kernel):
+    lv = compute_liveness(mini_kernel)
+    g = build_interference(lv, compute_nsr(lv))
+    a = merge_region_colorings(g)
+    b = merge_region_colorings(g)
+    assert a.coloring == b.coloring
+    assert (a.max_pr, a.max_r) == (b.max_pr, b.max_r)

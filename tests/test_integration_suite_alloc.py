@@ -1,0 +1,79 @@
+"""Integration: allocate every benchmark and verify execution equivalence.
+
+This is the strongest end-to-end guarantee in the repository: for each
+benchmark, the allocated (physical-register) program must produce exactly
+the reference run's observable behaviour, under the paranoid safety
+checker, both at the comfortable budget and squeezed to the minimum.
+"""
+
+import pytest
+
+from repro.core.analysis import analyze_thread
+from repro.core.bounds import estimate_bounds
+from repro.core.pipeline import allocate_programs
+from repro.sim.run import outputs_match, run_reference, run_threads
+from repro.suite.registry import BENCHMARKS, load
+
+
+@pytest.mark.parametrize("name", sorted(BENCHMARKS))
+def test_single_thread_allocation_equivalence(name):
+    program = load(name)
+    out = allocate_programs([program], nreg=128)
+    ref = run_reference([program], packets_per_thread=3)
+    got = run_threads(
+        out.programs,
+        packets_per_thread=3,
+        assignment=out.assignment,
+    )
+    assert outputs_match(ref, got), name
+
+
+@pytest.mark.parametrize("name", ["frag", "drr", "url", "l2l3fwd_send", "crc"])
+def test_minimum_register_allocation_equivalence(name):
+    program = load(name)
+    bounds = estimate_bounds(analyze_thread(program))
+    nreg = bounds.min_pr + (bounds.min_r - bounds.min_pr)
+    out = allocate_programs([program], nreg=nreg)
+    assert out.total_registers <= nreg
+    ref = run_reference([program], packets_per_thread=3)
+    got = run_threads(
+        out.programs,
+        packets_per_thread=3,
+        nreg=nreg,
+        assignment=out.assignment,
+    )
+    assert outputs_match(ref, got), name
+
+
+def test_four_thread_mixed_pu():
+    names = ("frag", "drr", "url", "ipchains")
+    programs = [load(n) for n in names]
+    out = allocate_programs(programs, nreg=40)
+    assert out.total_registers <= 40
+    ref = run_reference(programs, packets_per_thread=4)
+    got = run_threads(
+        out.programs,
+        packets_per_thread=4,
+        nreg=40,
+        assignment=out.assignment,
+    )
+    assert outputs_match(ref, got)
+
+
+def test_four_thread_squeezed_pu():
+    names = ("frag", "drr", "url", "ipchains")
+    programs = [load(n) for n in names]
+    bounds = [estimate_bounds(analyze_thread(p)) for p in programs]
+    floor = sum(b.min_pr for b in bounds) + max(
+        b.min_r - b.min_pr for b in bounds
+    )
+    out = allocate_programs([load(n) for n in names], nreg=floor)
+    assert out.total_registers <= floor
+    ref = run_reference(programs, packets_per_thread=4)
+    got = run_threads(
+        out.programs,
+        packets_per_thread=4,
+        nreg=floor,
+        assignment=out.assignment,
+    )
+    assert outputs_match(ref, got)

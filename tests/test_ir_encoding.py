@@ -1,0 +1,105 @@
+"""Unit tests for binary encoding/decoding."""
+
+import pytest
+
+from repro.core.pipeline import allocate_programs
+from repro.errors import ValidationError
+from repro.ir.encoding import (
+    code_size_bytes,
+    decode_program,
+    encode_instruction,
+    encode_program,
+    same_code,
+)
+from repro.ir.parser import parse_instruction, parse_program
+from repro.sim.run import outputs_match, run_reference, run_threads
+from repro.suite.registry import BENCHMARKS, load
+from tests.conftest import MINI_KERNEL
+
+
+def phys_kernel():
+    out = allocate_programs([parse_program(MINI_KERNEL, "k")], nreg=16)
+    return out
+
+
+def test_round_trip_simple():
+    p = parse_program(
+        "movi $r1, 5\naddi $r2, $r1, 3\nstore $r2, [$r1 + 1]\nhalt\n", "t"
+    )
+    assert same_code(p, decode_program(encode_program(p)))
+
+
+def test_round_trip_branches_and_labels():
+    p = parse_program(
+        """
+        movi $r0, 0
+    loop:
+        addi $r0, $r0, 1
+        blti $r0, 5, loop
+        beq $r0, $r0, out
+        nop
+    out:
+        halt
+        """,
+        "t",
+    )
+    assert same_code(p, decode_program(encode_program(p)))
+
+
+def test_round_trip_large_immediates_use_extension_word():
+    p = parse_program("movi $r0, 0xDEADBEEF\nhalt\n", "t")
+    words = encode_program(p)
+    assert len(words) == 3  # movi takes 2 words, halt 1
+    assert same_code(p, decode_program(words))
+
+
+def test_small_immediates_fit_one_word():
+    p = parse_program("movi $r0, 100\nhalt\n", "t")
+    assert len(encode_program(p)) == 2
+
+
+def test_round_trip_burst_ops():
+    p = parse_program(
+        "movi $r9, 64\n"
+        "loadq $r0, $r1, $r2, $r3, [$r9 + 2]\n"
+        "storeq $r3, $r2, $r1, $r0, [$r9 + 6]\n"
+        "halt\n",
+        "t",
+    )
+    assert same_code(p, decode_program(encode_program(p)))
+
+
+def test_virtual_registers_rejected():
+    i = parse_instruction("movi %v, 1")
+    with pytest.raises(ValidationError):
+        encode_instruction(i, {})
+
+
+def test_decoded_program_executes_identically():
+    out = phys_kernel()
+    original = out.programs[0]
+    decoded = decode_program(encode_program(original))
+    ref = run_threads([original], packets_per_thread=4, nreg=16)
+    got = run_threads([decoded], packets_per_thread=4, nreg=16)
+    assert outputs_match(ref, got)
+
+
+@pytest.mark.parametrize("name", sorted(BENCHMARKS))
+def test_round_trip_every_allocated_benchmark(name):
+    out = allocate_programs([load(name)], nreg=128)
+    program = out.programs[0]
+    assert same_code(program, decode_program(encode_program(program)))
+
+
+def test_code_size_accounting():
+    p = parse_program("movi $r0, 1\nhalt\n", "t")
+    assert code_size_bytes(p) == 16
+
+
+def test_same_code_detects_differences():
+    a = parse_program("movi $r0, 1\nhalt\n", "a")
+    b = parse_program("movi $r0, 2\nhalt\n", "b")
+    c = parse_program("movi $r1, 1\nhalt\n", "c")
+    assert not same_code(a, b)
+    assert not same_code(a, c)
+    assert same_code(a, a)

@@ -1,0 +1,73 @@
+"""Unit tests for the Instruction value type."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.ir.instruction import Instruction
+from repro.ir.opcodes import Opcode
+from repro.ir.operands import Imm, Label, PhysReg, VirtualReg
+
+
+def v(name):
+    return VirtualReg(name)
+
+
+def test_defs_and_uses():
+    i = Instruction(Opcode.ADD, (v("d"), v("a"), v("b")))
+    assert i.defs == (v("d"),)
+    assert i.uses == (v("a"), v("b"))
+    assert i.regs == (v("d"), v("a"), v("b"))
+
+
+def test_store_defs_empty():
+    i = Instruction(Opcode.STORE, (v("x"), v("base"), Imm(0)))
+    assert i.defs == ()
+    assert i.uses == (v("x"), v("base"))
+
+
+def test_operand_count_checked():
+    with pytest.raises(ValidationError):
+        Instruction(Opcode.ADD, (v("d"), v("a")))
+
+
+def test_operand_kind_checked():
+    with pytest.raises(ValidationError):
+        Instruction(Opcode.ADD, (v("d"), v("a"), Imm(1)))
+    with pytest.raises(ValidationError):
+        Instruction(Opcode.MOVI, (v("d"), v("x")))
+    with pytest.raises(ValidationError):
+        Instruction(Opcode.BR, (v("d"),))
+
+
+def test_target_of_branch():
+    i = Instruction(Opcode.BEQI, (v("a"), Imm(0), Label("out")))
+    assert i.target == Label("out")
+
+
+def test_target_of_non_branch_raises():
+    with pytest.raises(ValidationError):
+        Instruction(Opcode.NOP, ()).target
+
+
+def test_substitute_regs():
+    i = Instruction(Opcode.ADD, (v("d"), v("a"), v("a")))
+    j = i.substitute_regs({v("a"): PhysReg(1), v("d"): PhysReg(0)})
+    assert j.operands == (PhysReg(0), PhysReg(1), PhysReg(1))
+
+
+def test_substitute_regs_identity_returns_self():
+    i = Instruction(Opcode.ADD, (v("d"), v("a"), v("b")))
+    assert i.substitute_regs({v("zzz"): PhysReg(9)}) is i
+
+
+def test_is_csb():
+    assert Instruction(Opcode.CTX, ()).is_csb
+    assert Instruction(Opcode.LOAD, (v("d"), v("b"), Imm(0))).is_csb
+    assert not Instruction(Opcode.NOP, ()).is_csb
+
+
+def test_str_is_parsable():
+    from repro.ir.parser import parse_instruction
+
+    i = Instruction(Opcode.SHRI, (v("a"), v("b"), Imm(16)))
+    assert parse_instruction(str(i)) == i

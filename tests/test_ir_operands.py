@@ -1,0 +1,40 @@
+"""Unit tests for operand value types."""
+
+from repro.ir.operands import Imm, Label, PhysReg, VirtualReg, is_reg
+
+
+def test_virtual_reg_str():
+    assert str(VirtualReg("sum")) == "%sum"
+
+
+def test_phys_reg_str():
+    assert str(PhysReg(17)) == "$r17"
+
+
+def test_imm_wraps_to_32_bits():
+    assert Imm(-1).value == 0xFFFFFFFF
+    assert Imm(2**32).value == 0
+    assert Imm(2**32 + 5).value == 5
+
+
+def test_imm_str():
+    assert str(Imm(42)) == "42"
+
+
+def test_operands_are_hashable_and_equal_by_value():
+    assert VirtualReg("a") == VirtualReg("a")
+    assert len({VirtualReg("a"), VirtualReg("a"), VirtualReg("b")}) == 2
+    assert PhysReg(3) == PhysReg(3)
+    assert PhysReg(3) != PhysReg(4)
+
+
+def test_is_reg():
+    assert is_reg(VirtualReg("a"))
+    assert is_reg(PhysReg(0))
+    assert not is_reg(Imm(1))
+    assert not is_reg(Label("loop"))
+
+
+def test_operands_are_orderable_within_type():
+    assert VirtualReg("a") < VirtualReg("b")
+    assert PhysReg(1) < PhysReg(2)

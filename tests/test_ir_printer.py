@@ -1,0 +1,46 @@
+"""Round-trip tests: parse(format(p)) == p."""
+
+import pytest
+
+from repro.ir.parser import parse_instruction, parse_program
+from repro.ir.printer import format_instruction, format_program
+from repro.suite.registry import BENCHMARKS, load
+
+
+@pytest.mark.parametrize(
+    "text",
+    [
+        "add %a, %b, %c",
+        "addi %a, %b, 42",
+        "movi %a, 4294967295",
+        "mov $r3, $r12",
+        "load %w, [%buf + 4]",
+        "load %w, [%buf]",
+        "store %w, [%buf + 2]",
+        "beq %a, %b, loop",
+        "blti %i, 16, loop",
+        "br out",
+        "ctx",
+        "halt",
+        "nop",
+        "recv %p",
+        "send %p",
+    ],
+)
+def test_instruction_round_trip(text):
+    instr = parse_instruction(text)
+    assert parse_instruction(format_instruction(instr)) == instr
+
+
+def test_program_round_trip(mini_kernel):
+    rt = parse_program(format_program(mini_kernel), mini_kernel.name)
+    assert rt.instrs == mini_kernel.instrs
+    assert rt.labels == mini_kernel.labels
+
+
+@pytest.mark.parametrize("name", sorted(BENCHMARKS))
+def test_benchmark_round_trip(name):
+    program = load(name)
+    rt = parse_program(format_program(program), name)
+    assert rt.instrs == program.instrs
+    assert rt.labels == program.labels

@@ -1,0 +1,99 @@
+"""Unit tests for program validation."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.ir.instruction import Instruction
+from repro.ir.opcodes import Opcode
+from repro.ir.operands import Imm, Label, PhysReg, VirtualReg
+from repro.ir.parser import parse_program
+from repro.ir.program import Program
+from repro.ir.validate import validate_program
+
+
+def test_valid_program_passes(mini_kernel):
+    validate_program(mini_kernel)
+
+
+def test_undefined_branch_target():
+    p = parse_program("br nowhere_else\nhalt\n", "t")
+    p.labels.clear()
+    with pytest.raises(ValidationError):
+        validate_program(p)
+
+
+def test_fall_off_the_end():
+    p = parse_program("movi %a, 1\nhalt\n", "t")
+    p.instrs.pop()  # drop the halt
+    with pytest.raises(ValidationError):
+        validate_program(p)
+
+
+def test_conditional_branch_cannot_be_last():
+    with pytest.raises(ValidationError):
+        validate_program(parse_program("x:\n beqi %a, 0, x\n", "t"), check_init=False)
+
+
+def test_mixed_register_kinds_rejected():
+    p = Program(
+        "t",
+        [
+            Instruction(Opcode.MOVI, (VirtualReg("a"), Imm(1))),
+            Instruction(Opcode.MOV, (PhysReg(0), VirtualReg("a"))),
+            Instruction(Opcode.HALT, ()),
+        ],
+    )
+    with pytest.raises(ValidationError):
+        validate_program(p)
+
+
+def test_uninitialised_read_rejected():
+    p = parse_program("add %a, %b, %b\nhalt\n", "t")
+    with pytest.raises(ValidationError):
+        validate_program(p)
+
+
+def test_uninitialised_read_allowed_when_disabled():
+    p = parse_program("add %a, %b, %b\nhalt\n", "t")
+    validate_program(p, check_init=False)
+
+
+def test_uninitialised_on_one_path_rejected():
+    p = parse_program(
+        """
+        movi %x, 1
+        beqi %x, 0, skip
+        movi %a, 2
+    skip:
+        add %b, %a, %x
+        halt
+        """,
+        "t",
+    )
+    with pytest.raises(ValidationError):
+        validate_program(p)
+
+
+def test_defined_on_all_paths_accepted():
+    p = parse_program(
+        """
+        movi %x, 1
+        beqi %x, 0, other
+        movi %a, 2
+        br join
+    other:
+        movi %a, 3
+    join:
+        add %b, %a, %x
+        halt
+        """,
+        "t",
+    )
+    validate_program(p)
+
+
+def test_label_out_of_range():
+    p = parse_program("movi %a, 1\nhalt\n", "t")
+    p.labels["ghost"] = 99
+    with pytest.raises(ValidationError):
+        validate_program(p)

@@ -1,0 +1,254 @@
+"""Semantics tests for the npc code generator.
+
+Programs are compiled to npir, executed on the simulator, and their
+results compared against evaluating the same source in Python (a tiny
+reference interpreter over the AST).
+"""
+
+import pytest
+
+from repro.npc import ast, compile_source
+from repro.npc.codegen import compile_to_text
+from repro.npc.lexer import NpcSyntaxError
+from repro.npc.parser import parse
+from repro.sim.machine import Machine
+from repro.sim.memory import Memory
+
+MASK = 0xFFFFFFFF
+
+
+# ----------------------------------------------------------------------
+# A reference interpreter for the npc AST.
+# ----------------------------------------------------------------------
+class PyEval:
+    def __init__(self, memory=None, packets=()):
+        self.vars = {}
+        self.memory = dict(memory or {})
+        self.packets = list(packets)
+        self.sent = []
+        self.halted = False
+
+    def expr(self, e):
+        if isinstance(e, ast.Number):
+            return e.value & MASK
+        if isinstance(e, ast.Name):
+            return self.vars.get(e.ident, 0)
+        if isinstance(e, ast.Recv):
+            return self.packets.pop(0) if self.packets else 0
+        if isinstance(e, ast.MemRead):
+            return self.memory.get(self.expr(e.addr) & MASK, 0)
+        if isinstance(e, ast.Unary):
+            v = self.expr(e.operand)
+            if e.op == "-":
+                return (-v) & MASK
+            if e.op == "~":
+                return v ^ MASK
+            return 0 if v else 1
+        assert isinstance(e, ast.Binary)
+        if e.op == "&&":
+            return 1 if self.expr(e.left) and self.expr(e.right) else 0
+        if e.op == "||":
+            return 1 if self.expr(e.left) or self.expr(e.right) else 0
+        a, b = self.expr(e.left), self.expr(e.right)
+        ops = {
+            "+": lambda: (a + b) & MASK,
+            "-": lambda: (a - b) & MASK,
+            "*": lambda: (a * b) & MASK,
+            "&": lambda: a & b,
+            "|": lambda: a | b,
+            "^": lambda: a ^ b,
+            "<<": lambda: (a << (b & 31)) & MASK,
+            ">>": lambda: a >> (b & 31),
+            "==": lambda: 1 if a == b else 0,
+            "!=": lambda: 1 if a != b else 0,
+            "<": lambda: 1 if a < b else 0,
+            "<=": lambda: 1 if a <= b else 0,
+            ">": lambda: 1 if a > b else 0,
+            ">=": lambda: 1 if a >= b else 0,
+        }
+        return ops[e.op]()
+
+    class _Break(Exception):
+        pass
+
+    class _Continue(Exception):
+        pass
+
+    class _Halt(Exception):
+        pass
+
+    def stmt(self, s):
+        if isinstance(s, ast.Assign):
+            self.vars[s.target] = self.expr(s.value)
+        elif isinstance(s, ast.MemWrite):
+            self.memory[self.expr(s.addr) & MASK] = self.expr(s.value)
+        elif isinstance(s, ast.Send):
+            self.sent.append(self.expr(s.value))
+        elif isinstance(s, ast.CtxSwitch):
+            pass
+        elif isinstance(s, ast.Halt):
+            raise self._Halt()
+        elif isinstance(s, ast.If):
+            body = s.then_body if self.expr(s.cond) else s.else_body
+            for inner in body:
+                self.stmt(inner)
+        elif isinstance(s, ast.While):
+            while self.expr(s.cond):
+                try:
+                    for inner in s.body:
+                        try:
+                            self.stmt(inner)
+                        except self._Continue:
+                            break
+                except self._Break:
+                    break
+        elif isinstance(s, ast.Break):
+            raise self._Break()
+        elif isinstance(s, ast.Continue):
+            raise self._Continue()
+        elif isinstance(s, ast.ExprStmt):
+            self.expr(s.value)
+
+    def run(self, source):
+        try:
+            for s in parse(source).body:
+                self.stmt(s)
+        except self._Halt:
+            pass
+        return self
+
+
+def run_compiled(source, memory=None, packets=(), optimize=True):
+    program = compile_source(source, "t", optimize=optimize)
+    mem = Memory()
+    for addr, value in (memory or {}).items():
+        mem.write(addr, value)
+    machine = Machine([program], memory=mem)
+    machine.threads[0].in_queue = list(packets)
+    machine.run()
+    return machine
+
+
+def assert_equivalent(source, memory=None, packets=(), check_vars=()):
+    """Compare simulator behaviour (raw and optimized compilations)
+    against the Python reference interpreter.
+
+    Observable state is memory and the send queue; named variables are
+    checked only on the unoptimized build (the optimizer may legitimately
+    eliminate a variable whose value went straight to memory).
+    """
+    py = PyEval(memory, packets).run(source)
+    raw = run_compiled(source, memory, packets, optimize=False)
+    for name in check_vars:
+        assert raw.threads[0].vregs.get(name, 0) == py.vars.get(name, 0), name
+    for machine in (raw, run_compiled(source, memory, packets)):
+        for addr, value in py.memory.items():
+            if (memory or {}).get(addr) != value:
+                assert machine.memory.read(addr) == value, hex(addr)
+        assert machine.threads[0].out_queue == py.sent
+
+
+@pytest.mark.parametrize(
+    "expr",
+    [
+        "1 + 2 * 3",
+        "(1 + 2) * 3",
+        "100 - 42 - 8",
+        "0xFF & 0x0F | 0xF0",
+        "1 << 16 >> 4",
+        "5 ^ 3",
+        "-7 + 10",
+        "~0 - 1",
+        "!0 + !5",
+        "3 < 4",
+        "4 <= 4",
+        "5 > 6",
+        "7 >= 7",
+        "1 == 1 && 2 == 3",
+        "0 || 42 != 0",
+        "(1 < 2) + (3 > 4) + (5 == 5)",
+    ],
+)
+def test_expression_equivalence(expr):
+    src = f"x = {expr}; mem[100] = x; halt();"
+    assert_equivalent(src, check_vars=["x"])
+
+
+def test_if_else_paths():
+    for a in (1, 5, 9):
+        src = f"""
+        a = {a};
+        if (a < 3) {{ r = 10; }} else if (a < 7) {{ r = 20; }} else {{ r = 30; }}
+        mem[50] = r;
+        halt();
+        """
+        assert_equivalent(src, check_vars=["r"])
+
+
+def test_while_accumulation():
+    src = """
+    i = 0; total = 0;
+    while (i < 10) { i = i + 1; total = total + i * i; }
+    mem[10] = total;
+    halt();
+    """
+    assert_equivalent(src, check_vars=["total"])
+
+
+def test_break_and_continue():
+    src = """
+    i = 0; s = 0;
+    while (1) {
+        i = i + 1;
+        if (i > 10) break;
+        if (i & 1) continue;
+        s = s + i;
+    }
+    mem[11] = s;
+    halt();
+    """
+    assert_equivalent(src, check_vars=["s"])
+
+
+def test_memory_and_packets():
+    src = """
+    while (1) {
+        p = recv();
+        if (p == 0) break;
+        mem[p + 1] = mem[p] * 2 + 1;
+        send(p);
+    }
+    halt();
+    """
+    memory = {200: 5, 300: 9}
+    assert_equivalent(src, memory=memory, packets=[200, 300])
+
+
+def test_short_circuit_side_effect_safety():
+    # && must not evaluate the right side when the left is false: the
+    # right side here is a recv() which would consume a packet.
+    src = """
+    a = 0;
+    if (a != 0 && recv() != 0) { x = 1; } else { x = 2; }
+    mem[20] = x;
+    halt();
+    """
+    machine = run_compiled(src, packets=[777])
+    assert machine.threads[0].in_pos == 0  # nothing consumed
+    assert machine.memory.read(20) == 2
+
+
+def test_offset_folding_emits_compact_loads():
+    text = compile_to_text("x = mem[p + 3]; mem[p + 4] = x; halt();")
+    assert "[%p + 3]" in text
+    assert "[%p + 4]" in text
+
+
+def test_break_outside_loop_rejected():
+    with pytest.raises(NpcSyntaxError):
+        compile_source("break;")
+
+
+def test_compiled_program_validates():
+    p = compile_source("x = 1; mem[10] = x; halt();")
+    assert p.instrs[-1].opcode.value == "halt"

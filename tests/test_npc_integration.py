@@ -1,0 +1,109 @@
+"""Integration: npc-written kernels through the whole toolchain."""
+
+import pytest
+
+from repro.core.pipeline import allocate_programs
+from repro.npc import compile_source
+from repro.sim.memory import Memory
+from repro.sim.packets import make_workload
+from repro.sim.run import (
+    PACKET_AREA_BASE,
+    outputs_match,
+    run_reference,
+    run_threads,
+)
+
+CHECKSUM_NPC = """
+// one's-complement checksum over the payload, like the frag kernel
+while (1) {
+    buf = recv();
+    if (buf == 0) break;
+    len = mem[buf];
+    sum = 0;
+    i = 0;
+    while (i < len) {
+        i = i + 1;
+        w = mem[buf + i];
+        sum = sum + (w >> 16) + (w & 0xFFFF);
+        ctx();
+    }
+    sum = (sum & 0xFFFF) + (sum >> 16);
+    sum = (sum & 0xFFFF) + (sum >> 16);
+    mem[buf + len + 1] = sum ^ 0xFFFF;
+    send(buf);
+}
+halt();
+"""
+
+CLASSIFIER_NPC = """
+// tiny classifier: tag packets by header parity and a running count
+count = 0;
+while (1) {
+    p = recv();
+    if (p == 0) break;
+    n = mem[p];
+    h = mem[p + 1];
+    count = count + 1;
+    if (h & 1) { tag = 0xAAAA; } else { tag = 0x5555; }
+    mem[p + n + 1] = tag;
+    mem[p + n + 2] = count;
+    send(p);
+}
+halt();
+"""
+
+
+def test_checksum_kernel_matches_golden_model():
+    program = compile_source(CHECKSUM_NPC, "npc_checksum")
+    run = run_reference([program], packets_per_thread=3)
+    mem = Memory()
+    wl = make_workload(mem, PACKET_AREA_BASE, 3, 16, seed=1)
+    stores = dict(run.stores[0])
+    for base, size in zip(wl.bases, wl.payload_words):
+        total = 0
+        for w in mem.read_block(base + 1, size):
+            total += (w >> 16) + (w & 0xFFFF)
+        total = (total & 0xFFFF) + (total >> 16)
+        total = (total & 0xFFFF) + (total >> 16)
+        assert stores[base + size + 1] == total ^ 0xFFFF
+
+
+def test_npc_kernels_allocate_and_verify():
+    programs = [
+        compile_source(CHECKSUM_NPC, "checksum"),
+        compile_source(CLASSIFIER_NPC, "classifier"),
+    ]
+    out = allocate_programs(programs, nreg=16)
+    assert out.total_registers <= 16
+    ref = run_reference(programs, packets_per_thread=5)
+    got = run_threads(
+        out.programs,
+        packets_per_thread=5,
+        nreg=16,
+        assignment=out.assignment,
+    )
+    assert outputs_match(ref, got)
+
+
+def test_npc_kernel_squeezed_to_minimum():
+    from repro.core.analysis import analyze_thread
+    from repro.core.bounds import estimate_bounds
+
+    program = compile_source(CHECKSUM_NPC, "checksum")
+    bounds = estimate_bounds(analyze_thread(program))
+    out = allocate_programs([program], nreg=bounds.min_r)
+    ref = run_reference([program], packets_per_thread=3)
+    got = run_threads(
+        out.programs,
+        packets_per_thread=3,
+        nreg=bounds.min_r,
+        assignment=out.assignment,
+    )
+    assert outputs_match(ref, got)
+
+
+def test_npc_state_persists_across_packets():
+    program = compile_source(CLASSIFIER_NPC, "classifier")
+    run = run_reference([program], packets_per_thread=4)
+    counts = [v for (a, v) in run.stores[0]][1::2]
+    assert counts == [1, 2, 3, 4]

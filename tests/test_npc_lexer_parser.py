@@ -1,0 +1,111 @@
+"""Unit tests for the npc lexer and parser."""
+
+import pytest
+
+from repro.npc import ast
+from repro.npc.lexer import NpcSyntaxError, tokenize
+from repro.npc.parser import parse
+
+
+def kinds(src):
+    return [(t.kind, t.text) for t in tokenize(src)[:-1]]
+
+
+def test_tokenize_basic():
+    assert kinds("x = 1;") == [
+        ("name", "x"), ("op", "="), ("number", "1"), ("op", ";")
+    ]
+
+
+def test_tokenize_maximal_munch():
+    assert kinds("a<<b <= c == d") == [
+        ("name", "a"), ("op", "<<"), ("name", "b"),
+        ("op", "<="), ("name", "c"), ("op", "=="), ("name", "d"),
+    ]
+
+
+def test_tokenize_hex_and_comments():
+    toks = kinds("x = 0xFF; // trailing\n")
+    assert ("number", "0xFF") in toks
+    assert all(t[0] != "comment" for t in toks)
+
+
+def test_tokenize_tracks_lines():
+    toks = tokenize("x = 1;\ny = 2;\n")
+    y = next(t for t in toks if t.text == "y")
+    assert y.line == 2
+
+
+def test_tokenize_rejects_junk():
+    with pytest.raises(NpcSyntaxError):
+        tokenize("x = $;")
+
+
+def test_parse_assignment():
+    prog = parse("x = 1 + 2 * 3;")
+    (stmt,) = prog.body
+    assert isinstance(stmt, ast.Assign)
+    assert isinstance(stmt.value, ast.Binary)
+    assert stmt.value.op == "+"
+    assert stmt.value.right.op == "*"  # precedence
+
+
+def test_parse_parentheses_override():
+    (stmt,) = parse("x = (1 + 2) * 3;").body
+    assert stmt.value.op == "*"
+
+
+def test_parse_left_associativity():
+    (stmt,) = parse("x = 10 - 4 - 3;").body
+    assert stmt.value.op == "-"
+    assert isinstance(stmt.value.left, ast.Binary)
+
+
+def test_parse_mem_read_write():
+    prog = parse("x = mem[p + 1]; mem[p] = x;")
+    read, write = prog.body
+    assert isinstance(read.value, ast.MemRead)
+    assert isinstance(write, ast.MemWrite)
+
+
+def test_parse_if_else_chain():
+    prog = parse(
+        "if (a < b) { x = 1; } else if (a == b) { x = 2; } else { x = 3; }"
+    )
+    (stmt,) = prog.body
+    assert isinstance(stmt, ast.If)
+    assert isinstance(stmt.else_body[0], ast.If)
+
+
+def test_parse_while_break_continue():
+    prog = parse("while (1) { if (x == 0) break; continue; }")
+    (loop,) = prog.body
+    assert isinstance(loop, ast.While)
+
+
+def test_parse_braceless_bodies():
+    prog = parse("if (x) y = 1; else y = 2;")
+    (stmt,) = prog.body
+    assert len(stmt.then_body) == 1 and len(stmt.else_body) == 1
+
+
+def test_parse_intrinsics():
+    prog = parse("p = recv(); send(p); ctx(); halt();")
+    kinds_ = [type(s).__name__ for s in prog.body]
+    assert kinds_ == ["Assign", "Send", "CtxSwitch", "Halt"]
+
+
+def test_parse_var_declarations():
+    prog = parse("var a, b; a = 1; b = 2;")
+    assert prog.declared == ("a", "b")
+
+
+def test_parse_error_reports_line():
+    with pytest.raises(NpcSyntaxError) as exc:
+        parse("x = 1;\ny = ;\n")
+    assert "line 2" in str(exc.value)
+
+
+def test_parse_missing_semicolon():
+    with pytest.raises(NpcSyntaxError):
+        parse("x = 1")

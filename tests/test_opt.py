@@ -1,0 +1,195 @@
+"""Tests for the optimization passes."""
+
+import pytest
+
+from repro.ir.opcodes import Opcode
+from repro.ir.parser import parse_program
+from repro.ir.validate import validate_program
+from repro.opt import (
+    eliminate_dead_code,
+    fold_constants,
+    optimize,
+    propagate_copies,
+)
+from repro.sim.run import outputs_match, run_reference
+from tests.conftest import MINI_KERNEL
+
+
+def check_equiv(before, after, packets=3):
+    validate_program(after, check_init=False)
+    a = run_reference([before], packets_per_thread=packets)
+    b = run_reference([after], packets_per_thread=packets)
+    assert outputs_match(a, b)
+
+
+def test_fold_movi_chain():
+    p = parse_program(
+        """
+        movi %a, 6
+        movi %b, 7
+        mul %c, %a, %b
+        store %c, [%c]
+        halt
+        """,
+        "t",
+    )
+    out = fold_constants(p)
+    movi_c = out.instrs[2]
+    assert movi_c.opcode is Opcode.MOVI
+    assert movi_c.operands[1].value == 42
+    check_equiv(p, optimize(p))
+
+
+def test_fold_to_immediate_form():
+    p = parse_program(
+        """
+        movi %k, 3
+        recv %x
+        add %y, %x, %k
+        store %y, [%y]
+        halt
+        """,
+        "t",
+    )
+    out = fold_constants(p)
+    assert out.instrs[2].opcode is Opcode.ADDI
+
+
+def test_fold_commutative_swaps_operands():
+    p = parse_program(
+        """
+        movi %k, 3
+        recv %x
+        add %y, %k, %x
+        store %y, [%y]
+        halt
+        """,
+        "t",
+    )
+    out = fold_constants(p)
+    assert out.instrs[2].opcode is Opcode.ADDI
+    assert out.instrs[2].operands[1].name == "x"
+
+
+def test_fold_does_not_cross_blocks():
+    p = parse_program(
+        """
+        movi %a, 5
+        beqi %a, 5, next
+    next:
+        addi %b, %a, 1
+        store %b, [%b]
+        halt
+        """,
+        "t",
+    )
+    out = fold_constants(p)
+    # %a's constant must not flow into the labelled block.
+    assert out.instrs[2].opcode is Opcode.ADDI
+
+
+def test_copy_propagation():
+    p = parse_program(
+        """
+        recv %x
+        mov %y, %x
+        addi %z, %y, 1
+        store %z, [%y]
+        halt
+        """,
+        "t",
+    )
+    out = propagate_copies(p)
+    assert str(out.instrs[2]) == "addi %z, %x, 1"
+    assert str(out.instrs[3]) == "store %z, [%x]"
+
+
+def test_copy_propagation_killed_by_redefinition():
+    p = parse_program(
+        """
+        recv %x
+        mov %y, %x
+        recv %x
+        store %y, [%x]
+        halt
+        """,
+        "t",
+    )
+    out = propagate_copies(p)
+    # %y must NOT be rewritten to the redefined %x.
+    assert str(out.instrs[3]) == "store %y, [%x]"
+
+
+def test_dead_code_removed():
+    p = parse_program(
+        """
+        movi %used, 1
+        movi %dead, 2
+        addi %dead2, %dead, 1
+        store %used, [%used]
+        halt
+        """,
+        "t",
+    )
+    out = eliminate_dead_code(p)
+    assert len(out.instrs) == 3
+    check_equiv(p, out)
+
+
+def test_dead_load_is_kept():
+    # A dead load is still a CSB: never removed.
+    p = parse_program(
+        """
+        movi %a, 9
+        load %dead, [%a]
+        store %a, [%a]
+        halt
+        """,
+        "t",
+    )
+    out = optimize(p)
+    assert out.count_opcode(Opcode.LOAD) == 1
+
+
+def test_labels_survive_dce():
+    p = parse_program(
+        """
+        movi %i, 0
+    loop:
+        movi %dead, 7
+        addi %i, %i, 1
+        blti %i, 3, loop
+        store %i, [%i]
+        halt
+        """,
+        "t",
+    )
+    out = eliminate_dead_code(p)
+    assert "loop" in out.labels
+    assert out.instrs[out.labels["loop"]].opcode is Opcode.ADDI
+    check_equiv(p, out)
+
+
+def test_optimize_kernel_preserves_semantics():
+    p = parse_program(MINI_KERNEL, "k")
+    out = optimize(p)
+    check_equiv(p, out, packets=4)
+
+
+def test_optimize_npc_output_shrinks():
+    from repro.npc.codegen import compile_to_text
+
+    text = compile_to_text(
+        "x = 2 + 3 * 4; y = x; mem[y + 1] = y; halt();"
+    )
+    raw = parse_program(text, "raw")
+    out = optimize(raw)
+    assert len(out.instrs) < len(raw.instrs)
+    check_equiv(raw, out)
+
+
+def test_optimize_idempotent():
+    p = parse_program(MINI_KERNEL, "k")
+    once = optimize(p)
+    twice = optimize(once)
+    assert [str(i) for i in once.instrs] == [str(i) for i in twice.instrs]

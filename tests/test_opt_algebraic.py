@@ -1,0 +1,74 @@
+"""Tests for algebraic simplification."""
+
+import pytest
+
+from repro.ir.opcodes import Opcode
+from repro.ir.parser import parse_instruction, parse_program
+from repro.opt.algebraic import simplify_algebra
+from repro.opt import optimize
+from repro.sim.run import outputs_match, run_reference
+
+
+@pytest.mark.parametrize(
+    "before,after",
+    [
+        ("addi %d, %a, 0", "mov %d, %a"),
+        ("subi %d, %a, 0", "mov %d, %a"),
+        ("ori %d, %a, 0", "mov %d, %a"),
+        ("xori %d, %a, 0", "mov %d, %a"),
+        ("shli %d, %a, 0", "mov %d, %a"),
+        ("muli %d, %a, 1", "mov %d, %a"),
+        ("muli %d, %a, 0", "movi %d, 0"),
+        ("muli %d, %a, 8", "shli %d, %a, 3"),
+        ("andi %d, %a, 0", "movi %d, 0"),
+        ("andi %d, %a, 0xFFFFFFFF", "mov %d, %a"),
+        ("sub %d, %a, %a", "movi %d, 0"),
+        ("xor %d, %a, %a", "movi %d, 0"),
+        ("mov %d, %d", "nop"),
+    ],
+)
+def test_identities(before, after):
+    p = parse_program(f"movi %a, 5\n{before}\nstore %d, [%a]\nhalt\n", "t")
+    out = simplify_algebra(p)
+    assert str(out.instrs[1]) == str(parse_instruction(after))
+
+
+@pytest.mark.parametrize(
+    "instr",
+    [
+        "addi %d, %a, 1",
+        "muli %d, %a, 3",
+        "andi %d, %a, 0xFF",
+        "sub %d, %a, %b",
+    ],
+)
+def test_non_identities_untouched(instr):
+    p = parse_program(
+        f"movi %a, 5\nmovi %b, 6\n{instr}\nstore %d, [%a]\nhalt\n", "t"
+    )
+    out = simplify_algebra(p)
+    assert str(out.instrs[2]) == str(parse_instruction(instr))
+
+
+def test_semantics_preserved_through_full_pipeline():
+    p = parse_program(
+        """
+        recv %x
+        muli %y, %x, 16
+        addi %y, %y, 0
+        andi %z, %y, 0xFFFFFFFF
+        sub %w, %z, %z
+        add %out, %z, %w
+        store %out, [%x + 1]
+        send %x
+        halt
+        """,
+        "t",
+    )
+    out = optimize(p)
+    assert len(out.instrs) < len(p.instrs)
+    a = run_reference([p], packets_per_thread=2)
+    b = run_reference([out], packets_per_thread=2)
+    assert outputs_match(a, b)
+    assert out.count_opcode(Opcode.MUL) == 0
+    assert out.count_opcode(Opcode.MULI) == 0

@@ -1,0 +1,70 @@
+"""Tests for address-dependent memory latency (SRAM vs SDRAM regions)."""
+
+from repro.ir.parser import parse_program
+from repro.sim.machine import Machine
+from repro.sim.memory import Memory
+
+
+def run_with(regions, text):
+    p = parse_program(text, "t")
+    machine = Machine([p], memory=Memory(), latency_regions=regions)
+    stats = machine.run()
+    return stats
+
+
+SRAM_ACCESS = """
+    movi %p, 100
+    load %v, [%p]
+    store %v, [%p + 1]
+    halt
+"""
+
+SDRAM_ACCESS = """
+    movi %p, 5000
+    load %v, [%p]
+    store %v, [%p + 1]
+    halt
+"""
+
+
+def test_default_latency_without_regions():
+    a = run_with(None, SRAM_ACCESS)
+    b = run_with(None, SDRAM_ACCESS)
+    assert a.cycles == b.cycles
+
+
+def test_region_latency_applies():
+    regions = [(0, 1024, 5), (4096, 8192, 40)]
+    fast = run_with(regions, SRAM_ACCESS)
+    slow = run_with(regions, SDRAM_ACCESS)
+    # Two memory ops each: (40 - 5) * 2 extra cycles for the SDRAM path.
+    assert slow.cycles - fast.cycles == 2 * 35
+
+
+def test_first_region_wins():
+    regions = [(0, 10_000, 3), (0, 10_000, 50)]
+    a = run_with(regions, SRAM_ACCESS)
+    b = run_with([(0, 10_000, 3)], SRAM_ACCESS)
+    assert a.cycles == b.cycles
+
+
+def test_unmatched_addresses_use_default():
+    regions = [(0, 50, 2)]
+    a = run_with(regions, SDRAM_ACCESS)
+    b = run_with(None, SDRAM_ACCESS)
+    assert a.cycles == b.cycles
+
+
+def test_latency_hiding_still_works_with_regions():
+    src = SDRAM_ACCESS
+    regions = [(4096, 8192, 60)]
+    solo = Machine(
+        [parse_program(src, "solo")], latency_regions=regions
+    )
+    s1 = solo.run()
+    duo = Machine(
+        [parse_program(src, "a"), parse_program(src, "b")],
+        latency_regions=regions,
+    )
+    s2 = duo.run()
+    assert s2.cycles < 2 * s1.cycles

@@ -1,0 +1,178 @@
+"""Unit tests for the micro-engine simulator."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.ir.parser import parse_program
+from repro.sim.machine import Machine
+from repro.sim.memory import Memory
+
+
+def run_program(text, mem=None, **kw):
+    p = parse_program(text, "t")
+    machine = Machine([p], memory=mem or Memory(), **kw)
+    stats = machine.run()
+    return machine, stats
+
+
+def test_alu_semantics():
+    machine, _ = run_program(
+        """
+        movi %a, 7
+        movi %b, 3
+        add %s, %a, %b
+        sub %d, %a, %b
+        mul %m, %a, %b
+        and %n, %a, %b
+        or %o, %a, %b
+        xor %x, %a, %b
+        shli %l, %b, 4
+        shri %r, %a, 1
+        store %s, [%a]
+        halt
+        """
+    )
+    v = machine.threads[0].vregs
+    assert v["s"] == 10 and v["d"] == 4 and v["m"] == 21
+    assert v["n"] == 3 and v["o"] == 7 and v["x"] == 4
+    assert v["l"] == 48 and v["r"] == 3
+
+
+def test_arithmetic_wraps_32_bits():
+    machine, _ = run_program(
+        """
+        movi %a, 0xFFFFFFFF
+        addi %a, %a, 2
+        store %a, [%a]
+        halt
+        """
+    )
+    assert machine.threads[0].vregs["a"] == 1
+
+
+def test_branches_and_loop():
+    machine, _ = run_program(
+        """
+        movi %i, 0
+        movi %s, 0
+    loop:
+        add %s, %s, %i
+        addi %i, %i, 1
+        blti %i, 5, loop
+        store %s, [%i]
+        halt
+        """
+    )
+    assert machine.threads[0].vregs["s"] == 10
+
+
+def test_load_store_roundtrip():
+    mem = Memory()
+    mem.write(100, 0xABCD)
+    machine, _ = run_program(
+        """
+        movi %p, 100
+        load %v, [%p]
+        addi %v, %v, 1
+        store %v, [%p + 1]
+        halt
+        """,
+        mem=mem,
+    )
+    assert mem.read(101) == 0xABCE
+
+
+def test_loadq_storeq():
+    mem = Memory()
+    mem.write_block(200, [1, 2, 3, 4])
+    machine, _ = run_program(
+        """
+        movi %p, 200
+        loadq %a, %b, %c, %d, [%p]
+        storeq %d, %c, %b, %a, [%p + 4]
+        halt
+        """,
+        mem=mem,
+    )
+    assert mem.read_block(204, 4) == [4, 3, 2, 1]
+
+
+def test_memory_op_costs_latency():
+    _, fast = run_program("movi %a, 1\nstore %a, [%a]\nhalt\n")
+    _, slow = run_program(
+        "movi %a, 1\nstore %a, [%a]\nstore %a, [%a + 1]\nhalt\n"
+    )
+    assert slow.cycles - fast.cycles >= 20
+
+
+def test_alu_is_single_cycle():
+    _, one = run_program("movi %a, 1\nhalt\n")
+    _, two = run_program("movi %a, 1\nmovi %b, 2\nhalt\n")
+    assert two.cycles - one.cycles == 1
+
+
+def test_ctx_round_robin_two_threads():
+    a = parse_program(
+        "movi %x, 1\nctx\nmovi %x, 2\nstore %x, [%x]\nhalt\n", "a"
+    )
+    b = parse_program(
+        "movi %y, 9\nctx\nmovi %y, 8\nstore %y, [%y]\nhalt\n", "b"
+    )
+    machine = Machine([a, b])
+    stats = machine.run()
+    assert all(t.halted for t in machine.threads)
+    assert stats.threads[0].ctx_instrs == 1
+    assert stats.threads[1].ctx_instrs == 1
+
+
+def test_latency_hiding_overlaps_threads():
+    # One thread alone waits out the memory latency; two threads overlap.
+    src = "movi %a, 1\nload %b, [%a]\nstore %b, [%a + 1]\nhalt\n"
+    solo = Machine([parse_program(src, "solo")])
+    solo_stats = solo.run()
+    duo = Machine([parse_program(src, "a"), parse_program(src, "b")])
+    duo_stats = duo.run()
+    assert duo_stats.cycles < 2 * solo_stats.cycles
+    assert duo_stats.idle_cycles < solo_stats.idle_cycles * 2
+
+
+def test_load_writeback_happens_on_resume():
+    # While a load is in flight, another thread may use the shared
+    # register file; the destination is written only when the loader
+    # resumes (transfer-register semantics).
+    loader = parse_program(
+        "movi $r0, 55\nstore $r0, [$r0]\nload $r1, [$r0]\nstore $r1, [$r0 + 2]\nhalt\n",
+        "loader",
+    )
+    clobber = parse_program(
+        "movi $r1, 77\nmovi $r1, 78\nmovi $r1, 79\nhalt\n", "clobber"
+    )
+    machine = Machine([loader, clobber])
+    machine.run()
+    # loader's second store must see the loaded value (55), not 79.
+    assert machine.memory.read(57) == 55
+
+
+def test_runaway_detected():
+    with pytest.raises(SimulationError):
+        run_program("x:\n br x\n", max_cycles=0) if False else None
+        p = parse_program("x:\n br x\n", "t")
+        Machine([p]).run(max_cycles=1000)
+
+
+def test_unknown_register_index_rejected():
+    p = parse_program("movi $r99, 1\nhalt\n", "t")
+    machine = Machine([p], nreg=8)
+    with pytest.raises(SimulationError):
+        machine.run()
+
+
+def test_stop_on_first_halt():
+    fast = parse_program("movi %a, 1\nhalt\n", "fast")
+    slow = parse_program(
+        "movi %i, 0\nl:\n addi %i, %i, 1\n blti %i, 100, l\n halt\n", "slow"
+    )
+    machine = Machine([fast, slow])
+    machine.run(stop_on_first_halt=True)
+    assert machine.threads[0].halted
+    assert not machine.threads[1].halted

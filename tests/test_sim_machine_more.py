@@ -1,0 +1,103 @@
+"""Additional simulator behaviour tests (queues, determinism, stats)."""
+
+from repro.ir.parser import parse_program
+from repro.sim.machine import Machine
+from repro.sim.memory import Memory
+
+
+DRAIN = """
+start:
+    recv %p
+    beqi %p, 0, out
+    send %p
+    br start
+out:
+    halt
+"""
+
+
+def test_recv_returns_zero_on_empty_queue():
+    p = parse_program(DRAIN, "t")
+    machine = Machine([p])
+    machine.threads[0].in_queue = [100, 200]
+    machine.run()
+    assert machine.threads[0].out_queue == [100, 200]
+    assert machine.threads[0].stats.iterations == 2
+
+
+def test_send_preserves_order():
+    p = parse_program(DRAIN, "t")
+    machine = Machine([p])
+    machine.threads[0].in_queue = [5, 3, 9, 1]
+    machine.run()
+    assert machine.threads[0].out_queue == [5, 3, 9, 1]
+
+
+def test_multithread_run_is_deterministic():
+    def build():
+        a = parse_program(DRAIN, "a")
+        b = parse_program(DRAIN, "b")
+        m = Machine([a, b])
+        m.threads[0].in_queue = [10, 11]
+        m.threads[1].in_queue = [20]
+        return m
+
+    s1 = build().run()
+    s2 = build().run()
+    assert s1.cycles == s2.cycles
+    assert [t.busy_cycles for t in s1.threads] == [
+        t.busy_cycles for t in s2.threads
+    ]
+
+
+def test_round_robin_is_fair_under_voluntary_switching():
+    src = """
+        movi %i, 0
+    loop:
+        addi %i, %i, 1
+        ctx
+        blti %i, 50, loop
+        store %i, [%i]
+        halt
+    """
+    machine = Machine([parse_program(src, "a"), parse_program(src, "b")])
+    stats = machine.run()
+    a, b = stats.threads
+    assert abs(a.busy_cycles - b.busy_cycles) <= 4
+
+
+def test_halted_thread_frees_the_pu():
+    fast = parse_program("movi %x, 1\nhalt\n", "fast")
+    slow = parse_program(
+        "movi %i, 0\nl:\n addi %i, %i, 1\n blti %i, 200, l\n halt\n",
+        "slow",
+    )
+    machine = Machine([fast, slow])
+    stats = machine.run()
+    # Nearly all cycles go to the slow thread after the fast one halts.
+    assert stats.threads[1].busy_cycles > stats.threads[0].busy_cycles * 10
+
+
+def test_store_log_matches_memory():
+    p = parse_program(
+        "movi %a, 7\nstore %a, [%a + 1]\nstore %a, [%a + 2]\nhalt\n", "t"
+    )
+    mem = Memory()
+    machine = Machine([p], memory=mem)
+    machine.run()
+    assert machine.threads[0].stores == [(8, 7), (9, 7)]
+    assert mem.read(8) == 7 and mem.read(9) == 7
+
+
+def test_writeback_order_of_loadq_fields():
+    mem = Memory()
+    mem.write_block(40, [1, 2, 3, 4])
+    p = parse_program(
+        "movi %b, 40\nloadq %w, %x, %y, %z, [%b]\n"
+        "store %w, [%b + 10]\nstore %z, [%b + 11]\nhalt\n",
+        "t",
+    )
+    machine = Machine([p], memory=mem)
+    machine.run()
+    assert mem.read(50) == 1
+    assert mem.read(51) == 4

@@ -1,0 +1,83 @@
+"""Unit tests for the memory model and packet workloads."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.memory import Memory
+from repro.sim.packets import Lcg, PACKET_SCRATCH, make_workload
+
+
+def test_memory_default_zero():
+    m = Memory()
+    assert m.read(1234) == 0
+
+
+def test_memory_write_read():
+    m = Memory()
+    m.write(10, 0xDEADBEEF)
+    assert m.read(10) == 0xDEADBEEF
+
+
+def test_memory_wraps_values():
+    m = Memory()
+    m.write(1, 2**32 + 7)
+    assert m.read(1) == 7
+
+
+def test_memory_bounds_checked():
+    m = Memory(size=100)
+    with pytest.raises(SimulationError):
+        m.read(100)
+    with pytest.raises(SimulationError):
+        m.write(3000, 1)
+
+
+def test_block_helpers():
+    m = Memory()
+    m.write_block(50, [1, 2, 3])
+    assert m.read_block(50, 3) == [1, 2, 3]
+
+
+def test_lcg_determinism():
+    a = Lcg(42)
+    b = Lcg(42)
+    assert [a.next() for _ in range(10)] == [b.next() for _ in range(10)]
+
+
+def test_lcg_seed_sensitivity():
+    assert Lcg(1).next() != Lcg(2).next()
+
+
+def test_lcg_range():
+    rng = Lcg(7)
+    for _ in range(200):
+        x = rng.next_in(4, 16)
+        assert 4 <= x <= 16
+
+
+def test_workload_layout():
+    m = Memory()
+    wl = make_workload(m, base=1000, n_packets=3, payload_words=8, seed=5)
+    assert len(wl) == 3
+    for base, size in zip(wl.bases, wl.payload_words):
+        assert m.read(base) == size
+        assert size == 8
+    # Buffers do not overlap (length word + payload + scratch).
+    for i in range(len(wl) - 1):
+        assert wl.bases[i + 1] >= wl.bases[i] + 1 + 8 + PACKET_SCRATCH
+
+
+def test_workload_deterministic():
+    m1, m2 = Memory(), Memory()
+    a = make_workload(m1, 0, 4, 8, seed=9)
+    b = make_workload(m2, 0, 4, 8, seed=9)
+    assert a.bases == b.bases
+    assert m1.snapshot() == m2.snapshot()
+
+
+def test_workload_varying_sizes():
+    m = Memory()
+    wl = make_workload(m, 0, 20, 16, seed=3, vary_size=True)
+    assert min(wl.payload_words) >= 4
+    assert max(wl.payload_words) <= 16
+    assert len(set(wl.payload_words)) > 1

@@ -1,0 +1,101 @@
+"""Tests for multi-PU pipelines."""
+
+import pytest
+
+from repro.core.pipeline import allocate_programs
+from repro.errors import SimulationError
+from repro.ir.parser import parse_program
+from repro.sim.pipeline import PipelineStage, run_pipeline
+from repro.suite.registry import load
+
+INCREMENT = """
+start:
+    recv %p
+    beqi %p, 0, done
+    load %v, [%p + 1]
+    addi %v, %v, 1
+    store %v, [%p + 1]
+    send %p
+    br start
+done:
+    halt
+"""
+
+
+def inc(name):
+    return parse_program(INCREMENT, name)
+
+
+def test_two_stage_pipeline_delivers_everything():
+    result = run_pipeline(
+        [
+            PipelineStage([inc("rx0"), inc("rx1")], name="rx"),
+            PipelineStage([inc("tx")], name="tx"),
+        ],
+        n_packets=10,
+    )
+    assert result.stages[0].packets == 10
+    assert len(result.delivered()) == 10
+
+
+def test_each_stage_transforms_packets():
+    result = run_pipeline(
+        [PipelineStage([inc("a")]), PipelineStage([inc("b")])],
+        n_packets=4,
+    )
+    # Both stages incremented word 1 of every buffer.
+    for base in result.delivered():
+        original = result.memory  # word1 was random; check +2 via replay
+    # Replay: rebuild the same workload in a fresh memory and compare.
+    from repro.sim.memory import Memory
+    from repro.sim.packets import make_workload
+    from repro.sim.run import PACKET_AREA_BASE
+
+    fresh = Memory()
+    wl = make_workload(fresh, PACKET_AREA_BASE, 4, 16, seed=1)
+    for base in wl.bases:
+        assert result.memory.read(base + 1) == (fresh.read(base + 1) + 2) % 2**32
+
+
+def test_bottleneck_identified():
+    heavy = load("crc")
+    result = run_pipeline(
+        [
+            PipelineStage([inc("light")], name="light"),
+            PipelineStage([heavy], name="heavy"),
+        ],
+        n_packets=4,
+    )
+    assert result.bottleneck().label == "heavy"
+
+
+def test_round_robin_distribution_across_threads():
+    result = run_pipeline(
+        [PipelineStage([inc("a"), inc("b"), inc("c")], name="rx")],
+        n_packets=7,
+    )
+    stats = result.stages[0].stats
+    iters = [t.iterations for t in stats.threads]
+    assert sum(iters) == 7
+    assert max(iters) - min(iters) <= 1
+
+
+def test_allocated_stage_with_safety_checker():
+    out = allocate_programs([inc("x"), inc("y")], nreg=8)
+    result = run_pipeline(
+        [
+            PipelineStage(
+                out.programs,
+                nreg=8,
+                assignment=out.assignment,
+                name="alloc",
+            )
+        ],
+        n_packets=6,
+    )
+    assert len(result.delivered()) == 6
+
+
+def test_empty_pipeline_rejected():
+    with pytest.raises(SimulationError):
+        run_pipeline([], n_packets=1)

@@ -1,0 +1,60 @@
+"""Tests for execution tracing."""
+
+import pytest
+
+from repro.ir.parser import parse_program
+from repro.sim.machine import Machine
+from repro.sim.trace import format_trace, thread_slices
+
+
+def traced_machine():
+    a = parse_program("movi %x, 1\nctx\nmovi %x, 2\nhalt\n", "alpha")
+    b = parse_program("movi %y, 9\nctx\nmovi %y, 8\nhalt\n", "beta")
+    machine = Machine([a, b], trace=True)
+    machine.run()
+    return machine
+
+
+def test_trace_records_every_instruction():
+    machine = traced_machine()
+    assert len(machine.trace_log) == 8
+    tids = {tid for _, tid, _, _ in machine.trace_log}
+    assert tids == {0, 1}
+
+
+def test_trace_cycles_strictly_increase():
+    machine = traced_machine()
+    cycles = [c for c, *_ in machine.trace_log]
+    assert cycles == sorted(cycles)
+    assert len(set(cycles)) == len(cycles)
+
+
+def test_slices_show_round_robin():
+    machine = traced_machine()
+    order = [tid for tid, _, _ in thread_slices(machine)]
+    assert order == [0, 1, 0, 1]
+
+
+def test_format_trace_columns():
+    machine = traced_machine()
+    text = format_trace(machine)
+    assert "alpha" in text and "beta" in text
+    assert "movi %x, 1" in text
+    # one header + one rule + one line per instruction
+    assert len(text.splitlines()) == 2 + 8
+
+
+def test_format_trace_limit():
+    machine = traced_machine()
+    text = format_trace(machine, limit=3)
+    assert "more entries" in text
+
+
+def test_untraced_machine_rejected():
+    p = parse_program("halt\n", "t")
+    machine = Machine([p])
+    machine.run()
+    with pytest.raises(ValueError):
+        format_trace(machine)
+    with pytest.raises(ValueError):
+        thread_slices(machine)

@@ -1,0 +1,79 @@
+"""Tests for the benchmark suite: structure, determinism, executability."""
+
+import pytest
+
+from repro.core.analysis import analyze_thread
+from repro.core.bounds import estimate_bounds
+from repro.ir.validate import validate_program
+from repro.sim.run import run_reference
+from repro.suite.registry import BENCHMARKS, load, load_all
+
+
+def test_registry_has_eleven_benchmarks():
+    assert len(BENCHMARKS) == 11
+
+
+def test_unknown_name_rejected():
+    with pytest.raises(KeyError):
+        load("nonesuch")
+
+
+def test_load_all_matches_registry():
+    programs = load_all()
+    assert [p.name for p in programs] == list(BENCHMARKS)
+
+
+@pytest.mark.parametrize("name", sorted(BENCHMARKS))
+def test_benchmark_is_valid(name):
+    validate_program(load(name))
+
+
+@pytest.mark.parametrize("name", sorted(BENCHMARKS))
+def test_benchmark_runs_and_terminates(name):
+    program = load(name)
+    res = run_reference([program], packets_per_thread=3)
+    t = res.stats.threads[0]
+    assert t.iterations == 3
+    assert res.out_queues[0], f"{name} never sent a packet"
+    assert t.finish_cycle is not None
+
+
+@pytest.mark.parametrize("name", sorted(BENCHMARKS))
+def test_benchmark_output_is_deterministic(name):
+    a = run_reference([load(name)], packets_per_thread=3)
+    b = run_reference([load(name)], packets_per_thread=3)
+    assert a.stores == b.stores
+    assert a.out_queues == b.out_queues
+
+
+@pytest.mark.parametrize("name", sorted(BENCHMARKS))
+def test_benchmark_writes_results(name):
+    res = run_reference([load(name)], packets_per_thread=2)
+    assert res.observable_stores()[0], f"{name} produced no observable stores"
+
+
+def test_register_hungry_benchmarks_exceed_window():
+    # md5 and the wraps kernels must overflow a 32-register window so the
+    # fixed-partition baseline spills (the paper's Table 3 setup).
+    for name in ("md5", "wraps_recv", "wraps_send"):
+        b = estimate_bounds(analyze_thread(load(name)))
+        assert b.min_r > 32, name
+
+
+def test_light_benchmarks_fit_window():
+    for name in ("frag", "fir2dim", "l2l3fwd_recv", "l2l3fwd_send"):
+        b = estimate_bounds(analyze_thread(load(name)))
+        assert b.max_r <= 32, name
+
+
+def test_md5_has_large_shared_fraction():
+    b = estimate_bounds(analyze_thread(load("md5")))
+    assert b.max_r - b.max_pr >= 8
+
+
+def test_ctx_density_reasonable():
+    # The paper reports context-switch instructions around 10% of code;
+    # our kernels range a bit wider but must stay packet-kernel-like.
+    for program in load_all():
+        density = program.count_csb() / len(program.instrs)
+        assert 0.015 <= density <= 0.5, program.name

@@ -1,0 +1,228 @@
+"""Golden-model tests: recompute each kernel's results in plain Python.
+
+Each benchmark's observable output is recomputed from the same synthetic
+packets by an independent Python model and compared against the simulator
+run, pinning down kernel semantics (not just determinism).
+"""
+
+from typing import List
+
+import pytest
+
+from repro.sim.memory import Memory
+from repro.sim.packets import make_workload
+from repro.sim.run import PACKET_AREA_BASE, run_reference
+from repro.suite import load
+from repro.suite.crc import POLY
+from repro.suite.fir2dim import COEFFS, IMAGE_DIM
+from repro.suite.frag import MTU_WORDS
+from repro.suite.md5 import HOISTED_T, EXTRA_T, G2, INIT, S1, S2
+
+MASK = 0xFFFFFFFF
+
+
+def packets(n=3, payload=16, seed=1):
+    mem = Memory()
+    wl = make_workload(mem, PACKET_AREA_BASE, n, payload, seed=seed)
+    return mem, wl
+
+
+def stored(run, tid=0):
+    return dict(run.stores[tid])
+
+
+# ----------------------------------------------------------------------
+# frag: one's-complement checksum + fragment count.
+# ----------------------------------------------------------------------
+def test_frag_golden():
+    mem, wl = packets()
+    run = run_reference([load("frag")], packets_per_thread=3)
+    out = stored(run)
+    for base, size in zip(wl.bases, wl.payload_words):
+        words = mem.read_block(base + 1, size)
+        total = 0
+        for w in words:
+            total += (w >> 16) + (w & 0xFFFF)
+        total = (total & 0xFFFF) + (total >> 16)
+        total = (total & 0xFFFF) + (total >> 16)
+        checksum = (total ^ 0xFFFF) & MASK
+        frags = (size + MTU_WORDS - 1) // MTU_WORDS
+        addr = base + size
+        assert out[addr + 1] == checksum
+        assert out[addr + 2] == frags
+
+
+# ----------------------------------------------------------------------
+# crc: reflected CRC-32 over the payload words, byte order LSB-first.
+# ----------------------------------------------------------------------
+def crc32_words(words: List[int]) -> int:
+    crc = 0xFFFFFFFF
+    for w in words:
+        for b in range(4):
+            byte = (w >> (8 * b)) & 0xFF
+            crc ^= byte
+            for _ in range(8):
+                mask = crc & 1
+                crc = (crc >> 1) ^ (POLY * mask)
+    return crc ^ 0xFFFFFFFF
+
+
+def test_crc_golden():
+    mem, wl = packets()
+    run = run_reference([load("crc")], packets_per_thread=3)
+    out = stored(run)
+    for base, size in zip(wl.bases, wl.payload_words):
+        words = mem.read_block(base + 1, size)
+        assert out[base + size + 1] == crc32_words(words)
+
+
+# ----------------------------------------------------------------------
+# md5: the kernel's exact two-round variant.
+# ----------------------------------------------------------------------
+def md5_digest(m: List[int]):
+    a, b, c, d = INIT
+    state = {"a": a, "b": b, "c": c, "d": d}
+    order = ["a", "b", "c", "d"]
+
+    def rotl(x, s):
+        return ((x << s) | (x >> (32 - s))) & MASK
+
+    for i in range(16):
+        ra, rb, rc, rd = (
+            order[(0 - i) % 4],
+            order[(1 - i) % 4],
+            order[(2 - i) % 4],
+            order[(3 - i) % 4],
+        )
+        f = (state[rb] & state[rc]) | (
+            (state[rb] ^ MASK) & state[rd]
+        )
+        t = (
+            HOISTED_T[i]
+            if i < len(HOISTED_T)
+            else EXTRA_T[i - len(HOISTED_T)]
+        )
+        acc = (state[ra] + f + m[i] + t) & MASK
+        state[ra] = (state[rb] + rotl(acc, S1[i])) & MASK
+    for i in range(16):
+        ra, rb, rc, rd = (
+            order[(0 - i) % 4],
+            order[(1 - i) % 4],
+            order[(2 - i) % 4],
+            order[(3 - i) % 4],
+        )
+        g = (state[rd] & state[rb]) | ((state[rd] ^ MASK) & state[rc])
+        if 16 + i < len(HOISTED_T):
+            t = HOISTED_T[16 + i]
+        else:
+            t = EXTRA_T[(len(EXTRA_T) // 2 + i // 2) % len(EXTRA_T)]
+        acc = (state[ra] + g + m[G2[i]] + t) & MASK
+        state[ra] = (state[rb] + rotl(acc, S2[i])) & MASK
+    return tuple(
+        (state[k] + v) & MASK for k, v in zip("abcd", INIT)
+    )
+
+
+def test_md5_golden():
+    mem, wl = packets()
+    run = run_reference([load("md5")], packets_per_thread=3)
+    out = stored(run)
+    for base, size in zip(wl.bases, wl.payload_words):
+        m = mem.read_block(base + 1, 16)
+        digest = md5_digest(m)
+        addr = base + size
+        for j, value in enumerate(digest):
+            assert out[addr + 1 + j] == value
+
+
+# ----------------------------------------------------------------------
+# fir2dim: 3x3 convolution outputs.
+# ----------------------------------------------------------------------
+def test_fir2dim_golden():
+    mem, wl = packets()
+    run = run_reference([load("fir2dim")], packets_per_thread=3)
+    out = stored(run)
+    for base, size in zip(wl.bases, wl.payload_words):
+        px = mem.read_block(base + 1, IMAGE_DIM * IMAGE_DIM)
+        addr = base + size
+        n = 0
+        for r in range(IMAGE_DIM - 2):
+            for c in range(IMAGE_DIM - 2):
+                acc = 0
+                for dr in range(3):
+                    for dc in range(3):
+                        tap = dr * 3 + dc
+                        word = (r + dr) * IMAGE_DIM + (c + dc)
+                        acc = (acc + px[word] * COEFFS[tap]) & MASK
+                assert out[addr + 1 + n] == acc
+                n += 1
+
+
+# ----------------------------------------------------------------------
+# url: byte-pattern counting.
+# ----------------------------------------------------------------------
+def test_url_golden():
+    from repro.suite.url import PATTERN
+
+    mem, wl = packets()
+    run = run_reference([load("url")], packets_per_thread=3)
+    out = stored(run)
+    for base, size in zip(wl.bases, wl.payload_words):
+        words = mem.read_block(base + 1, size)
+        partial = 0
+        hits = 0
+        for w in words:
+            bs = [(w >> (8 * k)) & 0xFF for k in range(4)]
+            partial += sum(1 for b in bs if b == PATTERN[0])
+            if bs == PATTERN:
+                hits += 1
+        addr = base + size
+        assert out[addr + 1] == hits
+        assert out[addr + 2] == partial
+
+
+# ----------------------------------------------------------------------
+# drr: deficit round robin against an SRAM model.
+# ----------------------------------------------------------------------
+def test_drr_golden():
+    from repro.suite.drr import DEFICIT_BASE, N_FLOWS, QUANTUM
+
+    mem, wl = packets()
+    run = run_reference([load("drr")], packets_per_thread=3)
+    out = stored(run)
+    deficits = {}
+    for base, size in zip(wl.bases, wl.payload_words):
+        h1 = mem.read(base + 1)
+        h2 = mem.read(base + 2)
+        fid = h1 ^ h2
+        fid ^= (fid << 13) & MASK
+        fid &= MASK
+        fid ^= fid >> 17
+        fid ^= (fid << 5) & MASK
+        fid &= MASK
+        fid = (fid * QUANTUM) & MASK
+        fid ^= fid >> 8
+        fid &= N_FLOWS - 1
+        deficit = deficits.get(fid, 0) + QUANTUM
+        verdict = 0
+        if deficit >= size:
+            deficit -= size
+            verdict = 1
+        deficits[fid] = deficit
+        addr = base + size
+        assert out[addr + 1] == verdict
+        assert out[addr + 2] == fid
+
+
+# ----------------------------------------------------------------------
+# ipchains: first matching rule (empty table -> rule 0 matches).
+# ----------------------------------------------------------------------
+def test_ipchains_golden_empty_table():
+    mem, wl = packets()
+    run = run_reference([load("ipchains")], packets_per_thread=3)
+    out = stored(run)
+    for base, size in zip(wl.bases, wl.payload_words):
+        ports = mem.read(base + 3)
+        # All-zero rules match everything: verdict = 0.
+        tag = (0 << 8) | (ports & 0xFF)
+        assert out[base + size + 1] == tag
