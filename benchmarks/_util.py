@@ -3,13 +3,24 @@
 from __future__ import annotations
 
 import pathlib
+from typing import Any
 
 OUT_DIR = pathlib.Path(__file__).parent / "out"
 
 
-def publish(name: str, text: str) -> None:
-    """Print a reproduced artifact and persist it under benchmarks/out/."""
+def publish(name: str, text: str, data: Any = None) -> None:
+    """Print a reproduced artifact and persist it under benchmarks/out/.
+
+    ``data``, when given, is additionally written as machine-readable
+    ``benchmarks/out/BENCH_<name>.json`` (see
+    :func:`repro.obs.export.bench_snapshot`) so each benchmark run leaves
+    a diffable trajectory snapshot next to the text artifact.
+    """
     OUT_DIR.mkdir(exist_ok=True)
     (OUT_DIR / f"{name}.txt").write_text(text + "\n")
+    if data is not None:
+        from repro.obs.export import bench_snapshot
+
+        bench_snapshot(name, data, OUT_DIR)
     print()
     print(text)

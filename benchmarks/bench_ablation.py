@@ -73,6 +73,20 @@ def test_budget_sweep(benchmark):
     publish(
         "ablation_budget_sweep",
         f"Budget sweep over {'+'.join(MIX)} (floor={floor})\n" + table,
+        data={
+            "mix": list(MIX),
+            "floor": floor,
+            "rows": [
+                {
+                    "nreg": nreg,
+                    "used": used,
+                    "sgr": sgr,
+                    "moves": moves,
+                    "pr_per_thread": [int(x) for x in prs.split()],
+                }
+                for nreg, used, sgr, moves, prs in rows
+            ],
+        },
     )
 
 
@@ -98,4 +112,10 @@ def test_policy_ablation(benchmark):
             ["Nreg", "greedy moves", "round-robin moves"],
             [(nreg, greedy_moves, blind_moves)],
         ),
+        data={
+            "mix": list(MIX),
+            "nreg": nreg,
+            "greedy_moves": greedy_moves,
+            "round_robin_moves": blind_moves,
+        },
     )

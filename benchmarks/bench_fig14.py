@@ -21,4 +21,4 @@ def test_fig14(benchmark):
         # Sharing never needs more registers than disjoint partitions.
         assert r.multithread_total <= r.baseline_total
     assert average_saving(rows) > 0.05
-    publish("fig14", render_fig14(rows))
+    publish("fig14", render_fig14(rows), data=[r.to_dict() for r in rows])

@@ -18,4 +18,4 @@ def test_table1(benchmark):
     assert len(rows) == 11
     for r in rows:
         assert r.reg_p_csb_max <= r.max_pr <= r.max_r
-    publish("table1", render_table1(rows))
+    publish("table1", render_table1(rows), data=[r.to_dict() for r in rows])

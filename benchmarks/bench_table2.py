@@ -20,4 +20,4 @@ def test_table2(benchmark):
     overheads = [r.overhead for r in rows]
     # Shape check: the typical kernel needs few or no moves.
     assert sorted(overheads)[len(overheads) // 2] <= 0.10
-    publish("table2", render_table2(rows))
+    publish("table2", render_table2(rows), data=[r.to_dict() for r in rows])

@@ -42,4 +42,8 @@ def test_table3_scenario(benchmark, label):
             assert abs(t.cycle_change) < 0.08, (
                 f"donor {t.name} should change only marginally"
             )
-    publish(f"table3_{label.replace('+', '_')}", render_table3([sc]))
+    publish(
+        f"table3_{label.replace('+', '_')}",
+        render_table3([sc]),
+        data=sc.to_dict(),
+    )

@@ -13,6 +13,9 @@ Commands:
     ``--allocated`` the programs are first register-allocated, executed
     under the paranoid safety checker, and verified against the
     virtual-register reference run.
+``profile FILE... [--nreg N] [--packets P] [--json OUT]``
+    Allocate (and simulate) under full telemetry; print per-phase wall
+    times, allocator decision counts, and simulator cycle accounting.
 ``encode FILE [-o OUT]``
     Assemble an allocated (physical-register) program to 64-bit machine
     words (hex, one per line).
@@ -21,6 +24,12 @@ Commands:
 ``suite``
     List the built-in benchmark kernels with basic properties.
 
+``analyze``, ``allocate``, ``run``, and ``bench`` additionally accept
+``--metrics OUT.json`` (combined telemetry snapshot: phase timings,
+inter-allocator step trace, simulator cycle accounting, metric counters)
+and ``--trace-json OUT.jsonl`` (the raw structured event log, one JSON
+object per line).  See ``docs/OBSERVABILITY.md`` for the schemas.
+
 Files are npir assembly; the special name ``bench:<name>`` loads a
 built-in benchmark instead (e.g. ``bench:md5``).
 """
@@ -28,13 +37,15 @@ built-in benchmark instead (e.g. ``bench:md5``).
 from __future__ import annotations
 
 import argparse
+import contextlib
 import pathlib
 import sys
-from typing import List, Optional, Sequence
+from typing import Iterator, List, Optional, Sequence
 
 from repro.core.analysis import analyze_thread
 from repro.core.bounds import estimate_bounds
 from repro.core.pipeline import allocate_programs
+from repro.obs import events as obs
 from repro.ir.encoding import encode_program
 from repro.ir.parser import parse_program
 from repro.ir.printer import format_program
@@ -61,11 +72,43 @@ def _load_all(specs: Sequence[str]) -> List[Program]:
     return [_load_program(s) for s in specs]
 
 
+@contextlib.contextmanager
+def _telemetry(args: argparse.Namespace) -> Iterator[None]:
+    """Capture telemetry around a command when ``--metrics`` or
+    ``--trace-json`` was given; write the files on the way out."""
+    metrics_path = getattr(args, "metrics", None)
+    trace_path = getattr(args, "trace_json", None)
+    if not metrics_path and not trace_path:
+        yield
+        return
+    from repro.obs import events, metrics
+    from repro.obs.export import run_snapshot, write_json, write_jsonl
+
+    try:
+        with metrics.scoped() as registry, events.capture() as emitter:
+            yield
+    finally:
+        # Write even when the command aborted (broken pipe, allocation
+        # failure): the partial trace shows what happened up to the error.
+        if trace_path:
+            out = write_jsonl(
+                trace_path, (e.to_dict() for e in emitter.events)
+            )
+            print(
+                f"wrote {len(emitter.events)} events to {out}",
+                file=sys.stderr,
+            )
+        if metrics_path:
+            out = write_json(metrics_path, run_snapshot(emitter, registry))
+            print(f"wrote telemetry snapshot to {out}", file=sys.stderr)
+
+
 def cmd_analyze(args: argparse.Namespace) -> int:
     for spec in args.files:
         program = _load_program(spec)
-        analysis = analyze_thread(program)
-        bounds = estimate_bounds(analysis)
+        with obs.span("analyze", program=program.name):
+            analysis = analyze_thread(program)
+            bounds = estimate_bounds(analysis)
         print(f"== {program.name} ==")
         print(f"instructions:        {len(program.instrs)}")
         csb = program.count_csb()
@@ -137,6 +180,24 @@ def cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_profile(args: argparse.Namespace) -> int:
+    from repro.obs.export import write_json
+    from repro.obs.profile import profile_programs, render_report
+
+    programs = _load_all(args.files)
+    report = profile_programs(
+        programs,
+        nreg=args.nreg,
+        packets=args.packets,
+        sim=not args.no_sim,
+    )
+    print(render_report(report))
+    if args.json:
+        out = write_json(args.json, report.to_dict())
+        print(f"wrote profile to {out}", file=sys.stderr)
+    return 0
+
+
 def cmd_compile(args: argparse.Namespace) -> int:
     from repro.npc import compile_source
 
@@ -203,6 +264,21 @@ def cmd_suite(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_obs_flags(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--metrics",
+        metavar="OUT.json",
+        help="write a combined telemetry snapshot (phase timings, "
+        "inter-allocator steps, simulator cycle accounting, metrics)",
+    )
+    p.add_argument(
+        "--trace-json",
+        metavar="OUT.jsonl",
+        dest="trace_json",
+        help="write the raw structured event log as JSON Lines",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -221,12 +297,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--nsr", action="store_true", help="print the NSR-annotated listing"
     )
+    _add_obs_flags(p)
     p.set_defaults(func=cmd_analyze)
 
     p = sub.add_parser("allocate", help="cross-thread register allocation")
     p.add_argument("files", nargs="+")
     p.add_argument("--nreg", type=int, default=128)
     p.add_argument("-o", "--output", help="directory for rewritten assembly")
+    _add_obs_flags(p)
     p.set_defaults(func=cmd_allocate)
 
     p = sub.add_parser("run", help="simulate threads over packet queues")
@@ -238,7 +316,22 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="allocate first, verify against the reference run",
     )
+    _add_obs_flags(p)
     p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser(
+        "profile", help="profile the allocator pipeline and simulator"
+    )
+    p.add_argument("files", nargs="+")
+    p.add_argument("--nreg", type=int, default=128)
+    p.add_argument("--packets", type=int, default=16)
+    p.add_argument(
+        "--no-sim",
+        action="store_true",
+        help="profile the allocation only, skip the simulated run",
+    )
+    p.add_argument("--json", metavar="OUT.json", help="write the report as JSON")
+    p.set_defaults(func=cmd_profile)
 
     p = sub.add_parser("compile", help="compile npc source to npir assembly")
     p.add_argument("file")
@@ -257,6 +350,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "experiment", choices=["table1", "table2", "table3", "fig14"]
     )
+    _add_obs_flags(p)
     p.set_defaults(func=cmd_bench)
 
     p = sub.add_parser("suite", help="list built-in benchmarks")
@@ -267,7 +361,8 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     try:
-        return args.func(args)
+        with _telemetry(args):
+            return args.func(args)
     except BrokenPipeError:  # e.g. piped into `head`
         return 0
 

@@ -34,6 +34,8 @@ from repro.core.bounds import Bounds
 from repro.core.context import AllocContext
 from repro.core.intra import IntraAllocator, ReduceResult
 from repro.errors import AllocationError
+from repro.obs import events as obs
+from repro.obs import metrics as obs_metrics
 
 
 @dataclass
@@ -89,6 +91,7 @@ def allocate_threads(
     nreg: int,
     zero_cost_only: bool = False,
     policy: str = "greedy",
+    bounds: Optional[Sequence[Bounds]] = None,
 ) -> InterThreadResult:
     """Run the Figure-8 loop over one PU's threads.
 
@@ -98,6 +101,8 @@ def allocate_threads(
         zero_cost_only: Figure-14 mode -- reduce only while free, ignore
             ``nreg``.
         policy: ``"greedy"`` (paper) or ``"round_robin"`` (ablation).
+        bounds: optional precomputed per-thread bounds (same order as
+            ``analyses``); estimated here when omitted.
 
     Raises:
         AllocationError: the programs cannot fit ``nreg`` registers even at
@@ -105,8 +110,16 @@ def allocate_threads(
     """
     if policy not in ("greedy", "round_robin"):
         raise ValueError(f"unknown policy {policy!r}")
-    allocators = [IntraAllocator(a) for a in analyses]
+    if bounds is not None and len(bounds) != len(analyses):
+        raise ValueError("bounds must match analyses one-to-one")
+    allocators = [
+        IntraAllocator(a, bounds[i] if bounds is not None else None)
+        for i, a in enumerate(analyses)
+    ]
     nthd = len(allocators)
+    em = obs.get_emitter()
+    reg = obs_metrics.registry() if em.enabled else None
+    step_no = 0
 
     def prs() -> List[int]:
         return [al.context.pr for al in allocators]
@@ -124,16 +137,22 @@ def allocate_threads(
 
     def probe_pr(i: int) -> Optional[ReduceResult]:
         if i not in pr_cache:
+            if reg is not None:
+                reg.counter("inter.probes").inc()
             pr_cache[i] = allocators[i].probe_reduce_pr()
         return pr_cache[i]
 
     def probe_sr(i: int) -> Optional[ReduceResult]:
         if i not in sr_cache:
+            if reg is not None:
+                reg.counter("inter.probes").inc()
             sr_cache[i] = allocators[i].probe_reduce_sr()
         return sr_cache[i]
 
     def probe_shift(i: int) -> Optional[ReduceResult]:
         if i not in shift_cache:
+            if reg is not None:
+                reg.counter("inter.probes").inc()
             shift_cache[i] = allocators[i].probe_shift()
         return shift_cache[i]
 
@@ -142,6 +161,16 @@ def allocate_threads(
         sr_cache.pop(i, None)
         shift_cache.pop(i, None)
 
+    if em.enabled:
+        em.emit(
+            "inter.start",
+            requirement=requirement(),
+            nreg=nreg,
+            pr=prs(),
+            sr=srs(),
+            policy=policy,
+            zero_cost_only=zero_cost_only,
+        )
     max_steps = sum(b.bounds.max_r for b in allocators) + nthd + 8
     for _ in range(max_steps):
         if not zero_cost_only and requirement() <= nreg:
@@ -221,17 +250,47 @@ def allocate_threads(
         if kind in ("pr", "shift"):
             allocators[idx].commit(results[0])
             invalidate(idx)
+            involved = [idx]
         else:
             at_max = [i for i in range(nthd) if srs()[i] == max_sr]
             for i, res in zip(at_max, results):
                 allocators[i].commit(res)
                 invalidate(i)
+            involved = at_max
+        step_no += 1
+        if em.enabled:
+            em.emit(
+                "inter.step",
+                step=step_no,
+                kind=kind,
+                threads=involved,
+                delta=delta,
+                requirement=requirement(),
+                nreg=nreg,
+                pr=prs(),
+                sr=srs(),
+                move_cost=sum(al.context.move_cost() for al in allocators),
+            )
+            assert reg is not None
+            reg.counter("inter.steps").inc()
+            reg.counter(f"inter.steps.{kind}").inc()
+            reg.histogram("inter.step_delta").observe(delta)
     else:
         if not zero_cost_only and requirement() > nreg:
             raise AllocationError(
                 "inter-thread reduction failed to converge"
             )
 
+    if em.enabled:
+        em.emit(
+            "inter.done",
+            steps=step_no,
+            requirement=requirement(),
+            nreg=nreg,
+            fits=requirement() <= nreg,
+            pr=prs(),
+            sr=srs(),
+        )
     threads = [
         ThreadAllocation(
             analysis=al.analysis,

@@ -44,6 +44,8 @@ from repro.core.bounds import Bounds, estimate_bounds
 from repro.core.context import AllocContext, Piece, initial_context
 from repro.errors import AllocationError
 from repro.ir.operands import Reg
+from repro.obs import events as obs
+from repro.obs import metrics as obs_metrics
 
 
 @dataclass
@@ -70,6 +72,13 @@ class IntraAllocator:
             self.bounds.max_pr,
             self.bounds.max_r - self.bounds.max_pr,
         )
+
+    def _note(self, event: str, **fields: object) -> None:
+        """Telemetry for one allocation decision (no-op when disabled)."""
+        em = obs.get_emitter()
+        if em.enabled:
+            em.emit(event, thread=self.analysis.program.name, **fields)
+            obs_metrics.registry().counter(event).inc()
 
     # ------------------------------------------------------------------
     # Public operations.
@@ -319,6 +328,10 @@ class IntraAllocator:
         for col in candidates:
             if col not in profile:
                 piece.color = col
+                self._note(
+                    "intra.recolor", reg=str(piece.reg), pid=piece.pid,
+                    to=col, via="direct",
+                )
                 return []
         # (b) recolor blocking neighbors first.  Only worth attempting for
         # lightly-blocked colors: each blocker costs a conflict sweep, and
@@ -327,6 +340,10 @@ class IntraAllocator:
             if len(profile[col][0]) > 4:
                 break
             if self._recolor_via_neighbors(ctx, piece, profile[col][0], col, banned):
+                self._note(
+                    "intra.recolor", reg=str(piece.reg), pid=piece.pid,
+                    to=col, via="neighbors",
+                )
                 return []
         # (c) live-range splitting.
         if ctx.is_boundary(piece):
@@ -430,6 +447,10 @@ class IntraAllocator:
             raise AllocationError(
                 f"NSR exclusion left conflicts on {piece.reg}"
             )
+        self._note(
+            "intra.split", reg=str(piece.reg), pid=piece.pid,
+            kind="boundary", shed=len(part), to=col,
+        )
         return [fragment.pid]
 
     def _split_internal(
@@ -465,6 +486,10 @@ class IntraAllocator:
             raise AllocationError(
                 f"internal split left conflicts on {piece.reg}"
             )
+        self._note(
+            "intra.split", reg=str(piece.reg), pid=piece.pid,
+            kind="internal", shed=len(part), to=col,
+        )
         return [fragment.pid]
 
     def _shatter(
@@ -488,6 +513,10 @@ class IntraAllocator:
         # The piece itself (now single-slot) still carries the banned
         # color; requeue it as well by reporting it as fresh work.
         fresh.append(piece.pid)
+        self._note(
+            "intra.shatter", reg=str(piece.reg), pid=piece.pid,
+            fragments=len(fresh),
+        )
         return fresh
 
     # ------------------------------------------------------------------
@@ -559,6 +588,7 @@ class IntraAllocator:
                 f"{self.analysis.program.name}: pointwise ({pr}, {sr}) "
                 f"below bounds {self.bounds}"
             )
+        self._note("intra.pointwise", pr=pr, sr=sr)
         an = self.analysis
         r = pr + sr
         ctx = AllocContext(an, pr, sr)

@@ -21,6 +21,7 @@ from repro.core.rewrite import rewrite_program
 from repro.errors import AllocationError
 from repro.ir.program import Program
 from repro.ir.validate import validate_program
+from repro.obs import events as obs
 
 
 @dataclass
@@ -74,17 +75,26 @@ def allocate_programs(
         policy: inter-thread reduction policy (``greedy`` or the
             ``round_robin`` ablation).
     """
-    for program in programs:
-        validate_program(program, check_init=check_init)
-    analyses = [analyze_thread(p) for p in programs]
-    inter = allocate_threads(analyses, nreg, policy=policy)
-    assignment = assign_physical(inter)
-    rewritten = [
-        rewrite_program(t.analysis, t.context, m)
-        for t, m in zip(inter.threads, assignment.maps)
-    ]
-    for program in rewritten:
-        validate_program(program, check_init=False)
+    em = obs.get_emitter()
+    with em.span("allocate", threads=len(programs), nreg=nreg, policy=policy):
+        with em.span("validate"):
+            for program in programs:
+                validate_program(program, check_init=check_init)
+        with em.span("analyze"):
+            analyses = [analyze_thread(p) for p in programs]
+        with em.span("bounds"):
+            bounds = [estimate_bounds(a) for a in analyses]
+        with em.span("inter"):
+            inter = allocate_threads(analyses, nreg, policy=policy, bounds=bounds)
+        with em.span("assign"):
+            assignment = assign_physical(inter)
+        with em.span("rewrite"):
+            rewritten = [
+                rewrite_program(t.analysis, t.context, m)
+                for t, m in zip(inter.threads, assignment.maps)
+            ]
+            for program in rewritten:
+                validate_program(program, check_init=False)
     return AllocationOutcome(
         source_programs=list(programs),
         programs=rewritten,

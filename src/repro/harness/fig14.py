@@ -13,8 +13,8 @@ The headline number is the total saving of ``Nthd*PR + SR`` against
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from dataclasses import asdict, dataclass
+from typing import Any, Dict, List, Optional, Sequence
 
 from repro.core.analysis import analyze_thread
 from repro.core.inter import allocate_threads
@@ -44,6 +44,14 @@ class Fig14Row:
         if self.baseline_total == 0:
             return 0.0
         return 1.0 - self.multithread_total / self.baseline_total
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            **asdict(self),
+            "multithread_total": self.multithread_total,
+            "baseline_total": self.baseline_total,
+            "saving": self.saving,
+        }
 
 
 def run_fig14(

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import math
 from typing import List, Sequence
 
 
@@ -36,7 +37,7 @@ def text_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
 
 def _fmt(v: object) -> str:
     if isinstance(v, float):
-        return f"{v:.1f}"
+        return "n/a" if math.isnan(v) else f"{v:.1f}"
     return str(v)
 
 

@@ -8,8 +8,8 @@ coloring upper bounds ``MaxR`` / ``MaxPR``, and NSR count / average size.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from dataclasses import asdict, dataclass
+from typing import Any, Dict, List, Optional, Sequence
 
 from repro.core.analysis import analyze_thread
 from repro.core.bounds import estimate_bounds
@@ -31,6 +31,9 @@ class Table1Row:
     max_pr: int
     n_nsr: int
     avg_nsr_size: float
+
+    def to_dict(self) -> Dict[str, Any]:
+        return asdict(self)
 
 
 def run_table1(

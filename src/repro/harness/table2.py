@@ -9,8 +9,8 @@ this is affordable compared to spilling.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from dataclasses import asdict, dataclass
+from typing import Any, Dict, List, Optional, Sequence
 
 from repro.core.analysis import analyze_thread
 from repro.core.bounds import estimate_bounds
@@ -32,6 +32,9 @@ class Table2Row:
     @property
     def overhead(self) -> float:
         return self.moves / self.instructions if self.instructions else 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {**asdict(self), "overhead": self.overhead}
 
 
 def run_table2(names: Optional[Sequence[str]] = None) -> List[Table2Row]:

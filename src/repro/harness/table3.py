@@ -17,8 +17,8 @@ for the register-hungry threads, only 1-4% slowdown for the donors.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.baseline.single_thread import allocate_pu_baseline
 from repro.core.pipeline import allocate_programs
@@ -53,6 +53,9 @@ class Table3Thread:
             return 0.0
         return self.cycles_sharing / self.cycles_spill - 1.0
 
+    def to_dict(self) -> Dict[str, Any]:
+        return {**asdict(self), "cycle_change": self.cycle_change}
+
 
 @dataclass
 class Table3Scenario:
@@ -60,6 +63,14 @@ class Table3Scenario:
     threads: List[Table3Thread]
     verified: bool
     total_moves: int
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "label": self.label,
+            "verified": self.verified,
+            "total_moves": self.total_moves,
+            "threads": [t.to_dict() for t in self.threads],
+        }
 
 
 def run_scenario(

@@ -1,0 +1,26 @@
+"""Observability: structured tracing, metrics, and profiling.
+
+The subsystem is dependency-free and **zero-cost when disabled**: the
+process-global emitter defaults to a :class:`~repro.obs.events.NullEmitter`
+whose ``emit`` is a constant-time no-op and whose ``span`` hands back a
+shared do-nothing context manager, so instrumented code paths pay one
+attribute check when nobody is listening.
+
+Layers:
+
+* :mod:`repro.obs.events` -- structured events and nested phase spans
+  (wall-clock timed), captured by installing an :class:`Emitter`;
+* :mod:`repro.obs.metrics` -- counters / gauges / histograms in a
+  process-global registry with a JSON-ready ``snapshot()``;
+* :mod:`repro.obs.export` -- JSON / JSONL writers plus the combined
+  ``run_snapshot`` document the CLI's ``--metrics`` flag produces and the
+  ``BENCH_*.json`` benchmark-trajectory snapshots;
+* :mod:`repro.obs.profile` -- one-call wall-time + allocation-decision
+  profiling harness behind ``repro profile``.
+
+See ``docs/OBSERVABILITY.md`` for the event schema and metric names.
+"""
+
+from repro.obs import events, export, metrics, profile
+
+__all__ = ["events", "export", "metrics", "profile"]

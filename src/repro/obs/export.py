@@ -1,0 +1,142 @@
+"""JSON / JSONL writers for telemetry and benchmark artifacts.
+
+Everything funnels through :func:`to_jsonable`, which knows dataclasses,
+mappings, sequences, and the awkward floats (NaN/inf become ``None`` so
+the output is *strict* JSON -- ``jq`` and browsers both choke on bare
+``NaN``).
+
+Three document shapes leave this module:
+
+* ``write_jsonl`` -- one event dict per line, the ``--trace-json`` format;
+* :func:`run_snapshot` -- the combined ``--metrics`` document: phase
+  timings, per-greedy-step inter-allocator events, simulator cycle
+  accounting, and the metric registry snapshot;
+* :func:`bench_snapshot` -- ``BENCH_<name>.json`` trajectory files written
+  next to the text artifacts under ``benchmarks/out/``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import math
+import pathlib
+from typing import Any, Dict, Iterable, Mapping, Optional, Union
+
+SCHEMA_RUN = "repro.obs/1"
+SCHEMA_BENCH = "repro.bench/1"
+
+PathLike = Union[str, pathlib.Path]
+
+
+def to_jsonable(obj: Any) -> Any:
+    """Convert ``obj`` into strict-JSON-compatible plain data."""
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {
+            f.name: to_jsonable(getattr(obj, f.name))
+            for f in dataclasses.fields(obj)
+        }
+    if isinstance(obj, Mapping):
+        return {str(k): to_jsonable(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple, set, frozenset)):
+        return [to_jsonable(v) for v in obj]
+    if isinstance(obj, float):
+        return obj if math.isfinite(obj) else None
+    if isinstance(obj, (str, int, bool)) or obj is None:
+        return obj
+    return str(obj)
+
+
+def write_json(path: PathLike, payload: Any, indent: int = 2) -> pathlib.Path:
+    """Write ``payload`` as pretty-printed strict JSON; returns the path."""
+    out = pathlib.Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(
+        json.dumps(to_jsonable(payload), indent=indent, allow_nan=False)
+        + "\n"
+    )
+    return out
+
+
+def write_jsonl(
+    path: PathLike, rows: Iterable[Mapping[str, Any]]
+) -> pathlib.Path:
+    """Write ``rows`` as JSON Lines (one compact object per line)."""
+    out = pathlib.Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    with out.open("w") as fh:
+        for row in rows:
+            fh.write(
+                json.dumps(
+                    to_jsonable(row),
+                    separators=(",", ":"),
+                    allow_nan=False,
+                )
+            )
+            fh.write("\n")
+    return out
+
+
+def run_snapshot(
+    emitter: Any,
+    registry: Any = None,
+    extra: Optional[Mapping[str, Any]] = None,
+) -> Dict[str, Any]:
+    """Build the combined ``--metrics`` document from one captured run.
+
+    Keys:
+
+    * ``phases`` -- wall seconds per span path (the allocator pipeline's
+      validate/analyze/bounds/inter/assign/rewrite timings);
+    * ``event_counts`` -- record count per event name;
+    * ``inter_steps`` -- the inter-thread greedy loop's state trace:
+      the ``inter.start`` budget state, one ``inter.step`` event per
+      committed reduction (kind, threads, move-cost delta, requirement
+      vs. budget), and the ``inter.done`` end state;
+    * ``sim`` -- every ``sim.accounting`` event (per-thread run/idle/
+      switch cycle totals that sum to machine cycles, plus the
+      context-switch histogram);
+    * ``metrics`` -- the registry snapshot (when a registry is given).
+    """
+    doc: Dict[str, Any] = {
+        "schema": SCHEMA_RUN,
+        "phases": emitter.phase_timings(),
+        "event_counts": emitter.counts(),
+        "inter_steps": [
+            {"event": e.name, **e.fields}
+            for e in getattr(emitter, "events", ())
+            if e.name in ("inter.start", "inter.step", "inter.done")
+        ],
+        "sim": [
+            e.fields
+            for e in getattr(emitter, "events", ())
+            if e.name == "sim.accounting"
+        ],
+    }
+    if registry is not None:
+        doc["metrics"] = registry.snapshot()
+    if extra:
+        doc.update(extra)
+    return doc
+
+
+def bench_snapshot(
+    name: str,
+    data: Any,
+    out_dir: PathLike,
+    extra: Optional[Mapping[str, Any]] = None,
+) -> pathlib.Path:
+    """Write ``BENCH_<name>.json`` under ``out_dir``; returns the path.
+
+    The file shape is ``{"schema": ..., "bench": name, "data": ...}`` so
+    trajectory tooling can glob ``BENCH_*.json`` and diff ``data``
+    between revisions without caring which experiment produced it.
+    """
+    doc: Dict[str, Any] = {
+        "schema": SCHEMA_BENCH,
+        "bench": name,
+        "data": to_jsonable(data),
+    }
+    if extra:
+        doc.update(to_jsonable(extra))
+    return write_json(pathlib.Path(out_dir) / f"BENCH_{name}.json", doc)

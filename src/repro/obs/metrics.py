@@ -1,0 +1,179 @@
+"""Counters, gauges, and histograms in a process-global registry.
+
+Metrics complement events: events answer *what happened, in order*,
+metrics answer *how much, in total*, cheaply enough to leave on.  All
+metric types are JSON-ready via :meth:`MetricsRegistry.snapshot`, and the
+whole registry round-trips through ``json.dumps`` losslessly.
+
+Naming convention (see ``docs/OBSERVABILITY.md``): dotted lowercase
+``<layer>.<thing>``, e.g. ``inter.steps``, ``intra.recolors``,
+``sim.cycles``.  Get-or-create accessors make call sites declaration-free::
+
+    registry().counter("inter.steps").inc()
+    registry().histogram("inter.step_delta").observe(delta)
+
+Tests and profilers that need isolation swap the global registry with
+:func:`scoped` instead of resetting shared state they don't own.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+
+#: Default histogram bucket upper bounds (values above the last bound land
+#: in the overflow bucket).  Roughly log-spaced: decision costs, segment
+#: lengths, and cycle counts all fit without configuration.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0, 1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 10_000, 100_000,
+)
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+
+class Gauge:
+    """A point-in-time value (last write wins)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+
+class Histogram:
+    """A distribution: count/sum/min/max plus fixed cumulative buckets."""
+
+    __slots__ = ("name", "bounds", "bucket_counts", "count", "total", "min", "max")
+
+    def __init__(self, name: str, bounds: Sequence[float] = DEFAULT_BUCKETS):
+        self.name = name
+        self.bounds: Tuple[float, ...] = tuple(bounds)
+        self.bucket_counts: List[int] = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.bucket_counts[i] += 1
+                return
+        self.bucket_counts[-1] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+            "buckets": {
+                **{str(b): c for b, c in zip(self.bounds, self.bucket_counts)},
+                "+inf": self.bucket_counts[-1],
+            },
+        }
+
+
+class MetricsRegistry:
+    """Process-wide named metrics with get-or-create accessors."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # ------------------------------------------------------------------
+    def counter(self, name: str) -> Counter:
+        c = self._counters.get(name)
+        if c is None:
+            c = self._counters[name] = Counter(name)
+        return c
+
+    def gauge(self, name: str) -> Gauge:
+        g = self._gauges.get(name)
+        if g is None:
+            g = self._gauges[name] = Gauge(name)
+        return g
+
+    def histogram(
+        self, name: str, bounds: Sequence[float] = DEFAULT_BUCKETS
+    ) -> Histogram:
+        h = self._histograms.get(name)
+        if h is None:
+            h = self._histograms[name] = Histogram(name, bounds)
+        return h
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-ready view of every metric (sorted for diffability)."""
+        return {
+            "counters": {
+                name: c.value for name, c in sorted(self._counters.items())
+            },
+            "gauges": {
+                name: g.value for name, g in sorted(self._gauges.items())
+            },
+            "histograms": {
+                name: h.snapshot()
+                for name, h in sorted(self._histograms.items())
+            },
+        }
+
+    def reset(self) -> None:
+        """Drop every metric (names included, so types can change)."""
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+
+
+_registry = MetricsRegistry()
+
+
+def registry() -> MetricsRegistry:
+    """The process-global registry."""
+    return _registry
+
+
+def set_registry(reg: MetricsRegistry) -> MetricsRegistry:
+    """Install ``reg`` globally; returns the previous registry."""
+    global _registry
+    previous = _registry
+    _registry = reg
+    return previous
+
+
+@contextmanager
+def scoped(reg: Optional[MetricsRegistry] = None) -> Iterator[MetricsRegistry]:
+    """Swap in a fresh registry for the block, restoring on exit."""
+    fresh = reg if reg is not None else MetricsRegistry()
+    previous = set_registry(fresh)
+    try:
+        yield fresh
+    finally:
+        set_registry(previous)

@@ -32,7 +32,7 @@ threads held the PU.  Violations raise :class:`SafetyViolation`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, NamedTuple, Optional, Sequence, Tuple
 
 from repro.core.assign import RegisterAssignment
 from repro.errors import SafetyViolation, SimulationError
@@ -40,8 +40,29 @@ from repro.ir.instruction import Instruction
 from repro.ir.opcodes import Opcode
 from repro.ir.operands import Imm, PhysReg, Reg, VirtualReg
 from repro.ir.program import Program
+from repro.obs import events as obs
+from repro.obs import metrics as obs_metrics
 from repro.sim.memory import MASK32, Memory
 from repro.sim.stats import MachineStats, ThreadStats
+
+
+class Segment(NamedTuple):
+    """One maximal stretch of cycles spent the same way.
+
+    ``kind`` is ``"run"`` (a thread issuing instructions), ``"switch"``
+    (context-switch overhead charged to ``tid``), or ``"idle"`` (no ready
+    thread; ``tid`` is None).  Half-open ``[start, end)`` in machine
+    cycles; a machine's segments tile ``[0, cycles)`` exactly.
+    """
+
+    kind: str
+    tid: Optional[int]
+    start: int
+    end: int
+
+    @property
+    def cycles(self) -> int:
+        return self.end - self.start
 
 _ALU_RR = {
     Opcode.ADD: lambda a, b: a + b,
@@ -118,6 +139,7 @@ class Machine:
         measure_iterations: Optional[int] = None,
         latency_regions: Optional[Sequence[Tuple[int, int, int]]] = None,
         trace: bool = False,
+        timeline: Optional[bool] = None,
     ):
         """``latency_regions`` optionally overrides the memory latency per
         address range: ``(lo, hi, latency)`` applies to accesses with
@@ -127,7 +149,14 @@ class Machine:
 
         ``trace`` records every executed instruction as
         ``(cycle, tid, pc, text)`` in :attr:`trace_log` (debugging aid;
-        costs memory proportional to the run)."""
+        costs memory proportional to the run).
+
+        ``timeline`` records cycle accounting as run/switch/idle
+        :class:`Segment` objects in :attr:`timeline` (see
+        :meth:`timeline_accounting`).  The default (None) follows the
+        telemetry emitter: recording turns on automatically under an
+        active :func:`repro.obs.events.capture` and stays off -- at zero
+        per-cycle cost -- otherwise."""
         if not programs:
             raise SimulationError("machine needs at least one thread")
         self.nreg = nreg
@@ -138,6 +167,9 @@ class Machine:
         self.trace_log: Optional[List[Tuple[int, int, int, str]]] = (
             [] if trace else None
         )
+        if timeline is None:
+            timeline = obs.enabled()
+        self.timeline: Optional[List[Segment]] = [] if timeline else None
         self.memory = memory if memory is not None else Memory()
         self.regfile = [0] * nreg
         self.assignment = assignment
@@ -215,6 +247,62 @@ class Machine:
             )
 
     # ------------------------------------------------------------------
+    # Cycle-accounting timeline.
+    # ------------------------------------------------------------------
+    def _mark(self, kind: str, tid: Optional[int], start: int, end: int) -> None:
+        """Extend or append a timeline segment covering ``[start, end)``."""
+        tl = self.timeline
+        if tl is None or end <= start:
+            return
+        if tl:
+            last = tl[-1]
+            if last.kind == kind and last.tid == tid and last.end == start:
+                tl[-1] = Segment(kind, tid, last.start, end)
+                return
+        tl.append(Segment(kind, tid, start, end))
+
+    def timeline_accounting(self) -> Dict[str, Any]:
+        """Where every machine cycle went, from the recorded timeline.
+
+        Returns a JSON-ready dict: total ``cycles``, global ``idle``
+        cycles, per-thread ``run`` / ``switch`` cycle totals (summing,
+        with idle, to ``cycles``), and ``switch_histogram`` -- the
+        context-switch histogram, i.e. how many uninterrupted run
+        segments had each length in cycles.
+        """
+        if self.timeline is None:
+            raise SimulationError(
+                "machine was not created with timeline recording "
+                "(pass timeline=True or run under obs.events.capture())"
+            )
+        per: Dict[int, Dict[str, Any]] = {
+            t.tid: {
+                "tid": t.tid,
+                "name": t.program.name,
+                "run": 0,
+                "switch": 0,
+            }
+            for t in self.threads
+        }
+        idle = 0
+        run_lengths: Dict[int, int] = {}
+        for seg in self.timeline:
+            if seg.kind == "idle":
+                idle += seg.cycles
+                continue
+            per[seg.tid][seg.kind] += seg.cycles  # type: ignore[index]
+            if seg.kind == "run":
+                run_lengths[seg.cycles] = run_lengths.get(seg.cycles, 0) + 1
+        return {
+            "cycles": self.cycle,
+            "idle": idle,
+            "threads": [per[t.tid] for t in self.threads],
+            "switch_histogram": {
+                str(k): v for k, v in sorted(run_lengths.items())
+            },
+        }
+
+    # ------------------------------------------------------------------
     # Execution.
     # ------------------------------------------------------------------
     def run(
@@ -259,6 +347,10 @@ class Machine:
                         t.blocked_until for t in blocked  # type: ignore[type-var]
                     )
                     self._idle += max(target - self.cycle, 0)
+                    if self.timeline is not None:
+                        self._mark(
+                            "idle", None, self.cycle, max(target, self.cycle)
+                        )
                     self.cycle = max(target, self.cycle)
                 continue
             current = self._step(current, ready)
@@ -268,6 +360,23 @@ class Machine:
             switch_cycles=self._switch,
             threads=[t.stats for t in self.threads],
         )
+        em = obs.get_emitter()
+        if em.enabled and self.timeline is not None:
+            acct = self.timeline_accounting()
+            em.emit("sim.accounting", **acct)
+            reg = obs_metrics.registry()
+            reg.counter("sim.runs").inc()
+            reg.counter("sim.cycles").inc(stats.cycles)
+            reg.counter("sim.idle_cycles").inc(stats.idle_cycles)
+            reg.counter("sim.switch_cycles").inc(stats.switch_cycles)
+            for seg in self.timeline:
+                em.emit(
+                    "sim.segment",
+                    kind=seg.kind,
+                    tid=seg.tid,
+                    start=seg.start,
+                    end=seg.end,
+                )
         return stats
 
     def _wake(self, ready: List[int]) -> None:
@@ -282,6 +391,10 @@ class Machine:
 
     def _relinquish(self, thread: ThreadContext) -> None:
         self._snapshot_private(thread)
+        if self.timeline is not None:
+            self._mark(
+                "switch", thread.tid, self.cycle, self.cycle + self.ctx_cost
+            )
         self.cycle += self.ctx_cost
         self._switch += self.ctx_cost
         thread.stats.switches += 1
@@ -300,6 +413,8 @@ class Machine:
         instr = program.instrs[thread.pc]
         op = instr.opcode
         self.cycle += 1
+        if self.timeline is not None:
+            self._mark("run", thread.tid, self.cycle - 1, self.cycle)
         thread.stats.instructions += 1
         thread.stats.busy_cycles += 1
         if self.trace_log is not None:

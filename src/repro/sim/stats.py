@@ -49,9 +49,19 @@ class ThreadStats:
         return self.mem_ops + self.ctx_instrs
 
     def cycles_per_iteration(self) -> float:
-        """Average wall cycles per completed packet iteration."""
-        if not self.iterations or self.finish_cycle is None:
+        """Average wall cycles per completed packet iteration.
+
+        A thread that never completed an iteration reports ``0.0``; a
+        thread that iterated but never *finished* (``finish_cycle`` is
+        None, e.g. the run stopped on another thread's halt) reports
+        ``NaN`` -- its wall time is unknown, and pretending ``0.0`` would
+        read as infinitely fast in reports.  Renderers show NaN as
+        ``n/a``; guard comparisons with ``math.isnan``.
+        """
+        if not self.iterations:
             return 0.0
+        if self.finish_cycle is None:
+            return float("nan")
         return self.finish_cycle / self.iterations
 
     def busy_cycles_per_iteration(self) -> float:

@@ -29,7 +29,7 @@ def format_trace(
     log = machine.trace_log
     if log is None:
         raise ValueError("machine was not created with trace=True")
-    entries: Sequence[TraceEntry] = log[:limit] if limit else log
+    entries: Sequence[TraceEntry] = log if limit is None else log[:limit]
     names = [t.program.name for t in machine.threads]
     header = ["cycle"] + [
         f"t{tid} {name}"[: width - 1] for tid, name in enumerate(names)

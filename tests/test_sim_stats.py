@@ -1,5 +1,7 @@
 """Tests for the statistics counters."""
 
+import math
+
 from repro.ir.parser import parse_program
 from repro.sim.machine import Machine
 from repro.sim.run import run_reference
@@ -48,6 +50,20 @@ def test_cycles_per_iteration_zero_without_iterations():
     t = ThreadStats()
     assert t.cycles_per_iteration() == 0.0
     assert t.busy_cycles_per_iteration() == 0.0
+
+
+def test_cycles_per_iteration_nan_when_unfinished():
+    t = ThreadStats(iterations=5, finish_cycle=None)
+    assert math.isnan(t.cycles_per_iteration())
+
+
+def test_unfinished_thread_renders_na():
+    from repro.harness.report import text_table
+
+    t = ThreadStats(iterations=5, finish_cycle=None)
+    table = text_table(["cyc/iter"], [(t.cycles_per_iteration(),)])
+    assert "n/a" in table
+    assert "nan" not in table
 
 
 def test_measured_cpi_preferred():

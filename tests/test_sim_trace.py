@@ -50,6 +50,15 @@ def test_format_trace_limit():
     assert "more entries" in text
 
 
+def test_format_trace_limit_zero_shows_no_entries():
+    machine = traced_machine()
+    text = format_trace(machine, limit=0)
+    # header + rule + the "more entries" line, no instruction rows
+    assert "movi" not in text
+    assert "8 more entries" in text
+    assert len(text.splitlines()) == 3
+
+
 def test_untraced_machine_rejected():
     p = parse_program("halt\n", "t")
     machine = Machine([p])
