@@ -1,0 +1,34 @@
+"""Engine throughput benchmark: reference interpreter vs fast engine.
+
+Run with::
+
+    pytest benchmarks/bench_perf.py --benchmark-only -s
+
+Every suite kernel runs on both engines over identical packet
+workloads; the table (also written to ``benchmarks/out/perf.txt`` and
+``benchmarks/out/BENCH_perf.json``) reports wall-clock per kernel,
+instructions per second, and the fast/reference speedup.  The run
+aborts if any kernel's MachineStats/send-queues/store-traces differ
+between engines -- speed never comes at the cost of fidelity.
+"""
+
+from benchmarks._util import publish
+from repro.harness.perf import render_perf, run_perf, summarize_perf
+
+
+def test_perf(benchmark):
+    rows = benchmark.pedantic(
+        lambda: run_perf(packets=64, repeats=3), rounds=1, iterations=1
+    )
+    assert len(rows) == 11
+    for r in rows:
+        assert r.stats_match, f"{r.name}: engines diverged"
+    summary = summarize_perf(rows)
+    # The CI smoke gate is 2x; the full suite on an unloaded machine
+    # lands well above 5x in aggregate.
+    assert summary["speedup"] >= 2.0
+    publish(
+        "perf",
+        render_perf(rows),
+        data={"rows": [r.to_dict() for r in rows], "summary": summary},
+    )

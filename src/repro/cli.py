@@ -8,19 +8,26 @@ Commands:
 ``allocate FILE... [--nreg N] [-o DIR]``
     Run the cross-thread allocator; print the summary and (optionally)
     write the rewritten assembly per thread into DIR.
-``run FILE... [--nreg N] [--packets P] [--allocated]``
+``run FILE... [--nreg N] [--packets P] [--allocated] [--engine E]``
     Simulate the threads over synthetic packet queues.  With
     ``--allocated`` the programs are first register-allocated, executed
     under the paranoid safety checker, and verified against the
     virtual-register reference run.
-``profile FILE... [--nreg N] [--packets P] [--json OUT]``
+``profile FILE... [--nreg N] [--packets P] [--json OUT] [--engine E]``
     Allocate (and simulate) under full telemetry; print per-phase wall
     times, allocator decision counts, and simulator cycle accounting.
 ``encode FILE [-o OUT]``
     Assemble an allocated (physical-register) program to 64-bit machine
     words (hex, one per line).
-``bench {table1,table2,table3,fig14}``
-    Regenerate one of the paper's tables/figures.
+``bench {table1,table2,table3,fig14,perf} [--engine E]``
+    Regenerate one of the paper's tables/figures, or (``perf``) the
+    engine throughput comparison.
+
+``run``, ``profile``, and ``bench`` accept ``--engine
+{auto,fast,reference}`` to pick the execution engine
+(``docs/PERFORMANCE.md``); the default ``auto`` uses the pre-decoded
+fast engine except for runs needing reference-only features (tracing,
+timelines, the paranoid checker, an active telemetry capture).
 ``suite``
     List the built-in benchmark kernels with basic properties.
 
@@ -45,6 +52,7 @@ from typing import Iterator, List, Optional, Sequence
 from repro.core.analysis import analyze_thread
 from repro.core.bounds import estimate_bounds
 from repro.core.pipeline import allocate_programs
+from repro.errors import EngineError
 from repro.obs import events as obs
 from repro.ir.encoding import encode_program
 from repro.ir.parser import parse_program
@@ -152,22 +160,38 @@ def cmd_allocate(args: argparse.Namespace) -> int:
 
 def cmd_run(args: argparse.Namespace) -> int:
     programs = _load_all(args.files)
+    engine = args.engine
     if args.allocated:
+        if engine == "fast":
+            print(
+                "error: --allocated verifies the run with the paranoid "
+                "safety checker, which the fast engine does not "
+                "implement; drop --engine fast or use --engine "
+                "reference/auto",
+                file=sys.stderr,
+            )
+            return 2
         outcome = allocate_programs(programs, nreg=args.nreg)
         result = run_threads(
             outcome.programs,
             packets_per_thread=args.packets,
             nreg=args.nreg,
             assignment=outcome.assignment,
+            engine=engine,
         )
-        reference = run_reference(programs, packets_per_thread=args.packets)
+        reference = run_reference(
+            programs, packets_per_thread=args.packets, engine=engine
+        )
         verified = outputs_match(reference, result)
         print(f"allocated run verified against reference: {verified}")
         if not verified:
             return 1
     else:
         result = run_threads(
-            programs, packets_per_thread=args.packets, nreg=args.nreg
+            programs,
+            packets_per_thread=args.packets,
+            nreg=args.nreg,
+            engine=engine,
         )
     stats = result.stats
     print(f"cycles: {stats.cycles}  utilization: {stats.utilization():.0%}")
@@ -185,12 +209,17 @@ def cmd_profile(args: argparse.Namespace) -> int:
     from repro.obs.profile import profile_programs, render_report
 
     programs = _load_all(args.files)
-    report = profile_programs(
-        programs,
-        nreg=args.nreg,
-        packets=args.packets,
-        sim=not args.no_sim,
-    )
+    try:
+        report = profile_programs(
+            programs,
+            nreg=args.nreg,
+            packets=args.packets,
+            sim=not args.no_sim,
+            engine=args.engine,
+        )
+    except EngineError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     print(render_report(report))
     if args.json:
         out = write_json(args.json, report.to_dict())
@@ -236,22 +265,37 @@ def cmd_encode(args: argparse.Namespace) -> int:
 
 
 def cmd_bench(args: argparse.Namespace) -> int:
-    if args.experiment == "table1":
-        from repro.harness.table1 import render_table1, run_table1
+    from repro.sim.engine import set_default_engine
 
-        print(render_table1(run_table1()))
-    elif args.experiment == "table2":
-        from repro.harness.table2 import render_table2, run_table2
+    # Harness-wide engine preference: the harnesses call run_threads()
+    # many times without an explicit engine, so route the choice
+    # through the process default (restored on the way out).  Runs that
+    # need a reference-only feature (e.g. the paranoid checker) fall
+    # back per-run with a warning instead of aborting the sweep.
+    previous = set_default_engine(args.engine)
+    try:
+        if args.experiment == "table1":
+            from repro.harness.table1 import render_table1, run_table1
 
-        print(render_table2(run_table2()))
-    elif args.experiment == "table3":
-        from repro.harness.table3 import render_table3, run_table3
+            print(render_table1(run_table1()))
+        elif args.experiment == "table2":
+            from repro.harness.table2 import render_table2, run_table2
 
-        print(render_table3(run_table3()))
-    else:
-        from repro.harness.fig14 import render_fig14, run_fig14
+            print(render_table2(run_table2()))
+        elif args.experiment == "table3":
+            from repro.harness.table3 import render_table3, run_table3
 
-        print(render_fig14(run_fig14()))
+            print(render_table3(run_table3()))
+        elif args.experiment == "perf":
+            from repro.harness.perf import render_perf, run_perf
+
+            print(render_perf(run_perf()))
+        else:
+            from repro.harness.fig14 import render_fig14, run_fig14
+
+            print(render_fig14(run_fig14()))
+    finally:
+        set_default_engine(previous)
     return 0
 
 
@@ -262,6 +306,17 @@ def cmd_suite(args: argparse.Namespace) -> int:
         density = 100.0 * program.count_csb() / len(program.instrs)
         print(f"{name:14} {len(program.instrs):6} {density:5.1f}")
     return 0
+
+
+def _add_engine_flag(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--engine",
+        choices=["auto", "fast", "reference"],
+        default="auto",
+        help="execution engine: 'fast' is the pre-decoded burst engine "
+        "(stats-identical, no tracing/paranoid checks), 'reference' the "
+        "full-featured interpreter, 'auto' picks per run (default)",
+    )
 
 
 def _add_obs_flags(p: argparse.ArgumentParser) -> None:
@@ -316,6 +371,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="allocate first, verify against the reference run",
     )
+    _add_engine_flag(p)
     _add_obs_flags(p)
     p.set_defaults(func=cmd_run)
 
@@ -331,6 +387,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="profile the allocation only, skip the simulated run",
     )
     p.add_argument("--json", metavar="OUT.json", help="write the report as JSON")
+    _add_engine_flag(p)
     p.set_defaults(func=cmd_profile)
 
     p = sub.add_parser("compile", help="compile npc source to npir assembly")
@@ -348,8 +405,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("bench", help="regenerate a paper table/figure")
     p.add_argument(
-        "experiment", choices=["table1", "table2", "table3", "fig14"]
+        "experiment",
+        choices=["table1", "table2", "table3", "fig14", "perf"],
     )
+    _add_engine_flag(p)
     _add_obs_flags(p)
     p.set_defaults(func=cmd_bench)
 

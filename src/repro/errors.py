@@ -38,6 +38,17 @@ class SimulationError(ReproError):
     """The machine simulator hit an illegal state (bad address, opcode...)."""
 
 
+class EngineError(SimulationError):
+    """An execution engine cannot honour the requested feature set.
+
+    Raised when the pre-decoded fast engine is explicitly selected
+    together with a feature only the reference interpreter implements
+    (instruction tracing, timeline recording, the paranoid safety
+    checker).  Auto-selection never raises it -- it silently picks the
+    reference engine instead.
+    """
+
+
 class SafetyViolation(SimulationError):
     """A thread touched a register it does not own at a context switch.
 

@@ -7,6 +7,8 @@
   minimal register allocation (paper Table 2).
 * :mod:`repro.harness.table3` -- the three ARA scenarios: spilling
   baseline vs register sharing, cycle counts per thread (paper Table 3).
+* :mod:`repro.harness.perf` -- execution-engine throughput comparison
+  (reference interpreter vs pre-decoded fast engine).
 * :mod:`repro.harness.report` -- plain-text table rendering shared by all.
 
 Every harness exposes ``run(...) -> rows`` returning plain dataclasses and
@@ -23,6 +25,12 @@ from repro.harness.table3 import (
     run_table3,
     render_table3,
 )
+from repro.harness.perf import (
+    PerfRow,
+    render_perf,
+    run_perf,
+    summarize_perf,
+)
 
 __all__ = [
     "Table1Row",
@@ -38,4 +46,8 @@ __all__ = [
     "Table3Scenario",
     "run_table3",
     "render_table3",
+    "PerfRow",
+    "run_perf",
+    "render_perf",
+    "summarize_perf",
 ]

@@ -60,6 +60,24 @@ class Program:
                 f"program {self.name!r}: undefined label {label!r}"
             ) from None
 
+    def target_pcs(self) -> Tuple[Optional[int], ...]:
+        """Per-instruction pre-resolved branch targets.
+
+        Entry ``i`` is the integer PC of instruction ``i``'s branch
+        target; non-branches get ``None``, and so does a branch whose
+        label is undefined (executing it still raises lazily through
+        :meth:`resolve`, and :func:`~repro.ir.validate.validate_program`
+        rejects it up front).  Engines call this once per run and index
+        the result instead of paying a ``resolve`` call on every taken
+        branch; the tuple is recomputed on each call so structural
+        edits between runs can never serve stale targets.
+        """
+        labels = self.labels
+        return tuple(
+            labels.get(instr.target.name) if instr.spec.is_branch else None
+            for instr in self.instrs
+        )
+
     def successors(self, index: int) -> Tuple[int, ...]:
         """Instruction-level control-flow successors of instruction ``index``.
 

@@ -47,6 +47,7 @@ def profile_programs(
     packets: int = 16,
     sim: bool = True,
     policy: str = "greedy",
+    engine: Optional[str] = None,
 ) -> ProfileReport:
     """Profile one PU's allocation (and optionally its simulation).
 
@@ -56,6 +57,12 @@ def profile_programs(
         packets: packets per thread for the simulated run.
         sim: also run the allocated programs on the simulator.
         policy: inter-thread reduction policy.
+        engine: execution engine for the simulated run (see
+            :mod:`repro.sim.engine`).  The profiled run carries the
+            paranoid safety checker and records its timeline into the
+            capture, so the default ``None``/``"auto"`` resolves to the
+            reference engine; an explicit ``"fast"`` raises
+            :class:`~repro.errors.EngineError`.
     """
     from repro.core.pipeline import allocate_programs
     from repro.sim.run import run_threads
@@ -69,6 +76,7 @@ def profile_programs(
                 packets_per_thread=packets,
                 nreg=nreg,
                 assignment=outcome.assignment,
+                engine=engine,
             )
     wall = time.perf_counter() - start
     allocation = {

@@ -18,6 +18,10 @@ memory operation or executes ``ctx`` voluntarily.
 * :mod:`repro.sim.stats` -- per-thread and machine counters.
 * :mod:`repro.sim.machine` -- the processing-unit simulator, including the
   paranoid register-safety checker.
+* :mod:`repro.sim.decode` -- pre-decoding pass for the fast engine.
+* :mod:`repro.sim.fast` -- the pre-decoded burst-execution engine.
+* :mod:`repro.sim.engine` -- engine selection (``auto``/``fast``/
+  ``reference``) shared by the runners and the CLI.
 * :mod:`repro.sim.run` -- workload runners and reference-vs-allocated
   equivalence checking.
 """
@@ -26,6 +30,15 @@ from repro.sim.memory import Memory
 from repro.sim.packets import PacketWorkload, make_workload
 from repro.sim.stats import MachineStats, ThreadStats
 from repro.sim.machine import Machine, ThreadContext
+from repro.sim.decode import DecodedProgram, decode_program
+from repro.sim.fast import FastMachine, decode_cached
+from repro.sim.engine import (
+    ENGINES,
+    create_machine,
+    get_default_engine,
+    select_engine,
+    set_default_engine,
+)
 from repro.sim.run import RunResult, run_threads, run_reference, outputs_match
 
 __all__ = [
@@ -36,6 +49,15 @@ __all__ = [
     "MachineStats",
     "Machine",
     "ThreadContext",
+    "DecodedProgram",
+    "decode_program",
+    "FastMachine",
+    "decode_cached",
+    "ENGINES",
+    "create_machine",
+    "get_default_engine",
+    "select_engine",
+    "set_default_engine",
     "RunResult",
     "run_threads",
     "run_reference",

@@ -1,0 +1,272 @@
+"""Pre-decoding pass: compile a :class:`Program` for fast execution.
+
+The cycle-accurate reference interpreter pays, on *every* simulated
+instruction, a dict lookup to classify the opcode, ``isinstance``-based
+operand dispatch in register reads/writes, and a ``resolve()`` call per
+taken branch.  This module moves all of that out of the inner loop: a
+program is walked **once** and every instruction is lowered to a small
+tuple with
+
+* the opcode pre-classified into an execution kind (ALU, move, branch,
+  or one of the context-switch-boundary kinds),
+* the ALU/condition operation pre-selected as a plain binary function,
+* register operands pre-extracted to ``(is_phys, index)`` pairs --
+  virtual registers are densely renumbered per program so a thread's
+  private registers live in a flat list instead of a dict,
+* immediates pre-extracted to plain ints,
+* branch targets pre-resolved to integer PCs.
+
+The result (:class:`DecodedProgram`) is machine-independent: it knows
+nothing about register-file sizes, memory, or threads.  The fast engine
+(:mod:`repro.sim.fast`) *binds* a decoded program per thread, turning
+each decoded tuple into a zero-argument closure over the actual register
+lists, at which point the inner loop is just ``pc = code[pc]()``.
+
+Decoding raises :class:`~repro.errors.ValidationError` for undefined
+branch labels (the same error :func:`~repro.ir.validate.validate_program`
+gives at validate time) -- a pre-decoded engine cannot defer the failure
+to the first taken branch the way the reference interpreter does.
+"""
+
+from __future__ import annotations
+
+import operator
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Tuple
+
+from repro.errors import ValidationError
+from repro.ir.opcodes import Opcode
+from repro.ir.operands import PhysReg, Reg
+from repro.ir.program import Program
+
+# ----------------------------------------------------------------------
+# Execution kinds.  The first element of every decoded tuple is one of
+# these small ints; everything below K_FIRST_CSB runs inside a burst,
+# everything at or above it relinquishes the processing unit (or ends
+# the thread) and is handled by the scheduler.
+# ----------------------------------------------------------------------
+K_ALU_RR = 0
+K_ALU_RI = 1
+K_MOV = 2
+K_MOVI = 3
+K_NOP = 4
+K_BR = 5
+K_COND_RR = 6
+K_COND_RI = 7
+
+K_FIRST_CSB = 8
+K_LOAD = 8
+K_LOADQ = 9
+K_STORE = 10
+K_STOREQ = 11
+K_RECV = 12
+K_SEND = 13
+K_CTX = 14
+K_HALT = 15
+#: Sentinel appended past the last instruction: executing it means the
+#: thread fell off the end of its program.
+K_OFF_END = 16
+
+#: A pre-extracted register operand: ``(is_phys, index)``.  Physical
+#: registers keep their file index; virtual registers get a dense
+#: per-program index assigned in first-appearance order.
+RegRef = Tuple[bool, int]
+
+BinOp = Callable[[int, int], int]
+
+
+def _shl(a: int, b: int) -> int:
+    return a << (b & 31)
+
+
+def _shr(a: int, b: int) -> int:
+    return a >> (b & 31)
+
+
+#: Pre-selected ALU operations (register-register and register-imm
+#: forms share the arithmetic).  ``operator`` builtins keep the per-call
+#: cost at C level.
+ALU_FN: Dict[Opcode, BinOp] = {
+    Opcode.ADD: operator.add,
+    Opcode.SUB: operator.sub,
+    Opcode.AND: operator.and_,
+    Opcode.OR: operator.or_,
+    Opcode.XOR: operator.xor,
+    Opcode.SHL: _shl,
+    Opcode.SHR: _shr,
+    Opcode.MUL: operator.mul,
+    Opcode.ADDI: operator.add,
+    Opcode.SUBI: operator.sub,
+    Opcode.ANDI: operator.and_,
+    Opcode.ORI: operator.or_,
+    Opcode.XORI: operator.xor,
+    Opcode.SHLI: _shl,
+    Opcode.SHRI: _shr,
+    Opcode.MULI: operator.mul,
+}
+
+#: Pre-selected branch conditions.
+COND_FN: Dict[Opcode, Callable[[int, int], bool]] = {
+    Opcode.BEQ: operator.eq,
+    Opcode.BNE: operator.ne,
+    Opcode.BLT: operator.lt,
+    Opcode.BGE: operator.ge,
+    Opcode.BEQI: operator.eq,
+    Opcode.BNEI: operator.ne,
+    Opcode.BLTI: operator.lt,
+    Opcode.BGEI: operator.ge,
+}
+
+_ALU_RI_OPS = frozenset(
+    (
+        Opcode.ADDI,
+        Opcode.SUBI,
+        Opcode.ANDI,
+        Opcode.ORI,
+        Opcode.XORI,
+        Opcode.SHLI,
+        Opcode.SHRI,
+        Opcode.MULI,
+    )
+)
+_COND_RI_OPS = frozenset(
+    (Opcode.BEQI, Opcode.BNEI, Opcode.BLTI, Opcode.BGEI)
+)
+
+
+@dataclass
+class DecodedProgram:
+    """One program lowered for fast execution.
+
+    Attributes:
+        program: the source program (kept for names and diagnostics).
+        instrs: one decoded tuple per instruction; parallel to
+            ``program.instrs``.  Tuple layouts by kind (``r`` denotes a
+            :data:`RegRef`, ``i`` an int immediate, ``t`` an int PC):
+
+            * ``(K_ALU_RR, fn, d_r, a_r, b_r)``
+            * ``(K_ALU_RI, fn, d_r, a_r, imm_i)``
+            * ``(K_MOV, d_r, s_r)``
+            * ``(K_MOVI, d_r, imm_i)``
+            * ``(K_NOP,)``
+            * ``(K_BR, t)``
+            * ``(K_COND_RR, fn, a_r, b_r, t)``
+            * ``(K_COND_RI, fn, a_r, imm_i, t)``
+            * ``(K_LOAD, d_r, base_r, off_i)``
+            * ``(K_LOADQ, (d_r, d_r, d_r, d_r), base_r, off_i)``
+            * ``(K_STORE, s_r, base_r, off_i)``
+            * ``(K_STOREQ, (s_r, s_r, s_r, s_r), base_r, off_i)``
+            * ``(K_RECV, d_r)``
+            * ``(K_SEND, s_r)``
+            * ``(K_CTX,)``  /  ``(K_HALT,)``
+        vreg_names: dense virtual-register index -> source name; a
+            thread's private register file is ``len(vreg_names)`` words.
+    """
+
+    program: Program
+    instrs: List[Tuple]
+    vreg_names: List[str]
+
+    @property
+    def n_vregs(self) -> int:
+        return len(self.vreg_names)
+
+
+def decode_program(program: Program) -> DecodedProgram:
+    """Lower ``program`` into its :class:`DecodedProgram` form."""
+    vreg_index: Dict[str, int] = {}
+    vreg_names: List[str] = []
+
+    def ref(reg: Reg) -> RegRef:
+        if isinstance(reg, PhysReg):
+            return (True, reg.index)
+        idx = vreg_index.get(reg.name)
+        if idx is None:
+            idx = len(vreg_names)
+            vreg_index[reg.name] = idx
+            vreg_names.append(reg.name)
+        return (False, idx)
+
+    def target(instr) -> int:
+        name = instr.target.name
+        pc = program.labels.get(name)
+        if pc is None:
+            raise ValidationError(
+                f"program {program.name!r}: undefined label {name!r}"
+            )
+        return pc
+
+    decoded: List[Tuple] = []
+    for instr in program.instrs:
+        op = instr.opcode
+        fn = ALU_FN.get(op)
+        if fn is not None:
+            d, a, b = instr.operands
+            if op in _ALU_RI_OPS:
+                decoded.append((K_ALU_RI, fn, ref(d), ref(a), b.value))
+            else:
+                decoded.append((K_ALU_RR, fn, ref(d), ref(a), ref(b)))
+            continue
+        cond = COND_FN.get(op)
+        if cond is not None:
+            a, b, _ = instr.operands
+            if op in _COND_RI_OPS:
+                decoded.append(
+                    (K_COND_RI, cond, ref(a), b.value, target(instr))
+                )
+            else:
+                decoded.append(
+                    (K_COND_RR, cond, ref(a), ref(b), target(instr))
+                )
+            continue
+        if op is Opcode.MOV:
+            d, s = instr.operands
+            decoded.append((K_MOV, ref(d), ref(s)))
+        elif op is Opcode.MOVI:
+            d, imm = instr.operands
+            decoded.append((K_MOVI, ref(d), imm.value))
+        elif op is Opcode.NOP:
+            decoded.append((K_NOP,))
+        elif op is Opcode.BR:
+            decoded.append((K_BR, target(instr)))
+        elif op is Opcode.LOAD:
+            d, base, off = instr.operands
+            decoded.append((K_LOAD, ref(d), ref(base), off.value))
+        elif op is Opcode.LOADQ:
+            d0, d1, d2, d3, base, off = instr.operands
+            decoded.append(
+                (
+                    K_LOADQ,
+                    (ref(d0), ref(d1), ref(d2), ref(d3)),
+                    ref(base),
+                    off.value,
+                )
+            )
+        elif op is Opcode.STORE:
+            s, base, off = instr.operands
+            decoded.append((K_STORE, ref(s), ref(base), off.value))
+        elif op is Opcode.STOREQ:
+            s0, s1, s2, s3, base, off = instr.operands
+            decoded.append(
+                (
+                    K_STOREQ,
+                    (ref(s0), ref(s1), ref(s2), ref(s3)),
+                    ref(base),
+                    off.value,
+                )
+            )
+        elif op is Opcode.RECV:
+            (d,) = instr.operands
+            decoded.append((K_RECV, ref(d)))
+        elif op is Opcode.SEND:
+            (s,) = instr.operands
+            decoded.append((K_SEND, ref(s)))
+        elif op is Opcode.CTX:
+            decoded.append((K_CTX,))
+        elif op is Opcode.HALT:
+            decoded.append((K_HALT,))
+        else:  # pragma: no cover - exhaustive over the ISA
+            raise ValidationError(f"cannot decode opcode {op}")
+    return DecodedProgram(
+        program=program, instrs=decoded, vreg_names=vreg_names
+    )

@@ -31,6 +31,7 @@ threads held the PU.  Violations raise :class:`SafetyViolation`.
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, NamedTuple, Optional, Sequence, Tuple
 
@@ -179,6 +180,15 @@ class Machine:
         self.cycle = 0
         self._idle = 0
         self._switch = 0
+        #: Threads that have executed ``halt`` (O(1) stop-on-first-halt
+        #: checks instead of an O(threads) scan per scheduling step).
+        self._halted_count = 0
+        #: Min-heap of ``(wake_cycle, tid)`` for blocked threads; pops in
+        #: exactly the deterministic ``(blocked_until, tid)`` wake order.
+        self._pending_wake: List[Tuple[int, int]] = []
+        #: Per-thread pre-resolved branch targets (label -> int PC done
+        #: once here, not on every taken branch).
+        self._targets = [t.program.target_pcs() for t in self.threads]
 
     # ------------------------------------------------------------------
     # Register access (with paranoid ownership checks).
@@ -319,7 +329,7 @@ class Machine:
         ready: List[int] = [t.tid for t in self.threads]
         current: Optional[ThreadContext] = None
         while True:
-            if stop_on_first_halt and any(t.halted for t in self.threads):
+            if stop_on_first_halt and self._halted_count:
                 break
             if self.cycle > max_cycles:
                 raise SimulationError(
@@ -336,16 +346,9 @@ class Machine:
                         for reg, value in writebacks:
                             self._write(current, reg, value)
                 else:
-                    blocked = [
-                        t
-                        for t in self.threads
-                        if t.blocked_until is not None
-                    ]
-                    if not blocked:
+                    if not self._pending_wake:
                         break  # everything halted
-                    target = min(
-                        t.blocked_until for t in blocked  # type: ignore[type-var]
-                    )
+                    target = self._pending_wake[0][0]
                     self._idle += max(target - self.cycle, 0)
                     if self.timeline is not None:
                         self._mark(
@@ -380,14 +383,11 @@ class Machine:
         return stats
 
     def _wake(self, ready: List[int]) -> None:
-        wakers = [
-            t
-            for t in self.threads
-            if t.blocked_until is not None and t.blocked_until <= self.cycle
-        ]
-        for t in sorted(wakers, key=lambda t: (t.blocked_until, t.tid)):
-            t.blocked_until = None
-            ready.append(t.tid)
+        pending = self._pending_wake
+        while pending and pending[0][0] <= self.cycle:
+            _, tid = heapq.heappop(pending)
+            self.threads[tid].blocked_until = None
+            ready.append(tid)
 
     def _relinquish(self, thread: ThreadContext) -> None:
         self._snapshot_private(thread)
@@ -446,12 +446,18 @@ class Machine:
         elif op is Opcode.NOP:
             pass
         elif op is Opcode.BR:
-            next_pc = program.resolve(instr.target.name)
+            target = self._targets[thread.tid][thread.pc]
+            if target is None:
+                target = program.resolve(instr.target.name)
+            next_pc = target
         elif op in _COND:
             a, b, _ = instr.operands
             bval = b.value if isinstance(b, Imm) else self._read(thread, b)
             if _COND[op](self._read(thread, a), bval):
-                next_pc = program.resolve(instr.target.name)
+                target = self._targets[thread.tid][thread.pc]
+                if target is None:
+                    target = program.resolve(instr.target.name)
+                next_pc = target
         elif op is Opcode.LOAD:
             d, base, off = instr.operands
             addr = (self._read(thread, base) + off.value) & MASK32
@@ -506,6 +512,7 @@ class Machine:
             return None
         elif op is Opcode.HALT:
             thread.halted = True
+            self._halted_count += 1
             thread.stats.finish_cycle = self.cycle
             self._relinquish(thread)
             return None
@@ -538,5 +545,8 @@ class Machine:
     def _block(self, thread: ThreadContext, addr: Optional[int] = None) -> None:
         thread.stats.mem_ops += 1
         thread.blocked_until = self.cycle + self._latency_for(addr)
+        heapq.heappush(
+            self._pending_wake, (thread.blocked_until, thread.tid)
+        )
         self._relinquish(thread)
         return None

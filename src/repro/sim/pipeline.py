@@ -28,7 +28,7 @@ from typing import List, Optional, Sequence, Tuple
 from repro.core.assign import RegisterAssignment
 from repro.errors import SimulationError
 from repro.ir.program import Program
-from repro.sim.machine import Machine
+from repro.sim.engine import create_machine
 from repro.sim.memory import Memory
 from repro.sim.packets import make_workload
 from repro.sim.run import PACKET_AREA_BASE
@@ -84,8 +84,15 @@ def run_pipeline(
     seed: int = 1,
     mem_latency: int = 20,
     max_cycles: int = 50_000_000,
+    engine: Optional[str] = None,
 ) -> PipelineResult:
-    """Push ``n_packets`` through the stage chain over one shared memory."""
+    """Push ``n_packets`` through the stage chain over one shared memory.
+
+    ``engine`` picks the execution engine per stage (see
+    :mod:`repro.sim.engine`); under ``"auto"`` a stage carrying a
+    paranoid ``assignment`` runs on the reference engine while the
+    other stages use the fast one.
+    """
     if not stages:
         raise SimulationError("pipeline needs at least one stage")
     memory = Memory()
@@ -99,8 +106,9 @@ def run_pipeline(
     queue: List[int] = list(workload.bases)
     results: List[StageResult] = []
     for index, stage in enumerate(stages):
-        machine = Machine(
+        machine = create_machine(
             stage.programs,
+            engine,
             nreg=stage.nreg,
             mem_latency=mem_latency,
             memory=memory,

@@ -18,7 +18,7 @@ from typing import List, Optional, Sequence, Tuple
 
 from repro.core.assign import RegisterAssignment
 from repro.ir.program import Program
-from repro.sim.machine import Machine
+from repro.sim.engine import AnyMachine, create_machine
 from repro.sim.memory import Memory
 from repro.sim.packets import PACKET_SCRATCH, make_workload
 from repro.sim.stats import MachineStats
@@ -39,7 +39,7 @@ class RunResult:
     stats: MachineStats
     out_queues: List[List[int]]
     stores: List[List[Tuple[int, int]]]
-    machine: Machine
+    machine: AnyMachine
 
     def cycles(self) -> int:
         return self.stats.cycles
@@ -74,6 +74,7 @@ def run_threads(
     max_cycles: int = 50_000_000,
     stop_on_first_halt: bool = False,
     measure_iterations: Optional[int] = None,
+    engine: Optional[str] = None,
 ) -> RunResult:
     """Run ``programs`` (one per thread) over deterministic packet queues.
 
@@ -81,10 +82,17 @@ def run_threads(
     packets; thread ``t``'s buffers live at
     ``PACKET_AREA_BASE + t * PACKET_AREA_STRIDE`` so the layout is
     identical between a reference run and an allocated run.
+
+    ``engine`` selects the execution engine (``"auto"``/``"fast"``/
+    ``"reference"``, see :mod:`repro.sim.engine`); ``None`` uses the
+    process-wide default.  Note that ``engine="fast"`` raises
+    :class:`~repro.errors.EngineError` when combined with a paranoid
+    ``assignment``.
     """
     memory = Memory()
-    machine = Machine(
+    machine = create_machine(
         programs,
+        engine,
         nreg=nreg,
         mem_latency=mem_latency,
         ctx_cost=ctx_cost,

@@ -78,3 +78,45 @@ def test_copy_is_structural(mini_kernel):
 def test_iteration_and_len(straight):
     assert len(straight) == len(straight.instrs)
     assert list(straight) == straight.instrs
+
+
+def test_target_pcs_resolved(mini_kernel):
+    targets = mini_kernel.target_pcs()
+    assert len(targets) == len(mini_kernel.instrs)
+    loop_pc = mini_kernel.labels["loop"]
+    resolved = [t for t in targets if t is not None]
+    assert loop_pc in resolved
+    for pc, target in enumerate(targets):
+        instr = mini_kernel.instrs[pc]
+        if not instr.spec.is_branch:
+            assert target is None
+        else:
+            assert target == mini_kernel.labels[instr.target.name]
+
+
+def test_target_pcs_straightline_all_none(straight):
+    assert straight.target_pcs() == tuple(
+        None for _ in straight.instrs
+    )
+
+
+def test_undefined_label_still_rejected_at_validate():
+    # Regression guard: pre-resolving branch targets for the fast
+    # engine must not weaken validation of dangling labels.
+    from repro.ir.validate import validate_program
+
+    program = parse_program("movi %a, 1\nbr nowhere\nhalt\n", "bad")
+    with pytest.raises(ValidationError, match="nowhere"):
+        validate_program(program)
+    # target_pcs itself stays lazy about dangling labels (None entry);
+    # validation above is the front line, decode is the second.
+    assert program.target_pcs()[1] is None
+
+
+def test_undefined_label_rejected_at_decode():
+    from repro.errors import ValidationError as VE
+    from repro.sim.decode import decode_program
+
+    program = parse_program("br nowhere\nhalt\n", "bad")
+    with pytest.raises(VE, match="nowhere"):
+        decode_program(program)
