@@ -13,50 +13,59 @@ Run with::
     pytest benchmarks/bench_ablation.py --benchmark-only -s
 """
 
+import os
+
 from benchmarks._util import publish
-from repro.core.analysis import analyze_thread
-from repro.core.bounds import estimate_bounds
+from repro.core.cache import get_cache
 from repro.core.pipeline import allocate_programs
 from repro.harness.report import text_table
+from repro.harness.sweep import sweep_map
 from repro.sim.run import outputs_match, run_reference, run_threads
 from repro.suite.registry import load
 
 MIX = ("frag", "drr", "url", "ipchains")
 
+#: Worker processes for the budget sweep (the points are independent).
+JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
+
 
 def _floor(programs):
-    bounds = [estimate_bounds(analyze_thread(p)) for p in programs]
+    bounds = [get_cache().bounds(p) for p in programs]
     return sum(b.min_pr for b in bounds) + max(
         b.min_r - b.min_pr for b in bounds
     )
 
 
-def sweep_budget():
+def _sweep_point(nreg):
+    """One budget point: allocate the mix, verify outputs, report the row."""
     programs = [load(n) for n in MIX]
-    floor = _floor(programs)
+    out = allocate_programs([load(n) for n in MIX], nreg=nreg)
+    ref = run_reference(programs, packets_per_thread=8)
+    got = run_threads(
+        out.programs,
+        packets_per_thread=8,
+        nreg=max(nreg, 8),
+        assignment=out.assignment,
+    )
+    assert outputs_match(ref, got)
+    return (
+        nreg,
+        out.total_registers,
+        out.sgr,
+        out.total_moves,
+        " ".join(str(t.pr) for t in out.inter.threads),
+    )
+
+
+def sweep_budget(jobs=JOBS):
+    floor = _floor([load(n) for n in MIX])
     generous = 128
-    rows = []
-    for nreg in sorted({generous, 40, 36, 34, 32, floor}, reverse=True):
-        if nreg < floor:
-            continue
-        out = allocate_programs([load(n) for n in MIX], nreg=nreg)
-        ref = run_reference(programs, packets_per_thread=8)
-        got = run_threads(
-            out.programs,
-            packets_per_thread=8,
-            nreg=max(nreg, 8),
-            assignment=out.assignment,
-        )
-        assert outputs_match(ref, got)
-        rows.append(
-            (
-                nreg,
-                out.total_registers,
-                out.sgr,
-                out.total_moves,
-                " ".join(str(t.pr) for t in out.inter.threads),
-            )
-        )
+    budgets = [
+        nreg
+        for nreg in sorted({generous, 40, 36, 34, 32, floor}, reverse=True)
+        if nreg >= floor
+    ]
+    rows = sweep_map(_sweep_point, budgets, jobs=jobs, label="ablation")
     return floor, rows
 
 

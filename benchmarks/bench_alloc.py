@@ -1,0 +1,31 @@
+"""Allocation-pipeline throughput benchmark: cold vs warm vs parallel.
+
+Run with::
+
+    pytest benchmarks/bench_alloc.py --benchmark-only -s
+
+Every suite kernel is allocated at ``nthd=4`` identical threads under
+budgets spanning its own bounds (ceiling / midpoint / near-floor, see
+:mod:`repro.harness.allocperf`), three times over: with a cold analysis
+cache, with the warmed cache, and through the parallel sweep harness.
+The table (also written to ``benchmarks/out/alloc.txt`` and
+``benchmarks/out/BENCH_alloc.json``) reports the grid and the two
+speedups.  The run aborts if any pass produces a different allocation
+summary -- speed never comes at the cost of fidelity.
+"""
+
+from benchmarks._util import publish
+from repro.harness.allocperf import render_alloc, run_alloc_bench
+
+
+def test_alloc(benchmark):
+    report = benchmark.pedantic(
+        lambda: run_alloc_bench(jobs=2), rounds=1, iterations=1
+    )
+    assert report.identical, "allocation summaries diverged across passes"
+    assert len(report.points) >= len(report.kernels)
+    # The CI smoke gate (3 kernels) is 2x warm; the full suite on an
+    # unloaded machine lands well above 5x.
+    assert report.warm_speedup >= 3.0
+    assert report.parallel_speedup >= 1.5
+    publish("alloc", render_alloc(report), data=report.to_dict())

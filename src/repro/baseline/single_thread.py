@@ -16,7 +16,7 @@ from repro.baseline.chaitin import (
     ChaitinResult,
     chaitin_allocate,
 )
-from repro.core.analysis import analyze_thread
+from repro.core.analysis import ThreadAnalysis, analyze_thread
 from repro.errors import AllocationError
 from repro.igraph.coloring import min_color, num_colors
 from repro.ir.program import Program
@@ -25,13 +25,18 @@ from repro.ir.program import Program
 SPILL_AREA_STRIDE = 0x400
 
 
-def single_thread_register_count(program: Program) -> int:
+def single_thread_register_count(
+    program: Program, analysis: "ThreadAnalysis" = None
+) -> int:
     """Registers a standalone Chaitin allocation uses (no budget, no
     spills): the heuristic chromatic number of the interference graph.
 
-    This is the first bar of the paper's Figure 14.
+    This is the first bar of the paper's Figure 14.  Pass a precomputed
+    ``analysis`` of ``program`` (e.g. from :mod:`repro.core.cache`) to
+    skip the re-analysis; the graph is only read, never mutated.
     """
-    analysis = analyze_thread(program)
+    if analysis is None:
+        analysis = analyze_thread(program)
     return num_colors(min_color(analysis.graphs.gig))
 
 

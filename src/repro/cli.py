@@ -19,15 +19,20 @@ Commands:
 ``encode FILE [-o OUT]``
     Assemble an allocated (physical-register) program to 64-bit machine
     words (hex, one per line).
-``bench {table1,table2,table3,fig14,perf} [--engine E]``
-    Regenerate one of the paper's tables/figures, or (``perf``) the
-    engine throughput comparison.
+``bench {table1,table2,table3,fig14,perf,alloc} [--engine E]``
+    Regenerate one of the paper's tables/figures, or the engine
+    (``perf``) / allocation-pipeline (``alloc``) throughput comparisons.
 
 ``run``, ``profile``, and ``bench`` accept ``--engine
 {auto,fast,reference}`` to pick the execution engine
 (``docs/PERFORMANCE.md``); the default ``auto`` uses the pre-decoded
 fast engine except for runs needing reference-only features (tracing,
 timelines, the paranoid checker, an active telemetry capture).
+``profile`` and ``bench`` also accept ``--jobs N`` (parallel sweep /
+analysis workers) and ``--cache-dir DIR`` (persist the analysis cache
+on disk, also settable via ``REPRO_CACHE_DIR``); both default to the
+serial, in-memory behavior.  See "Allocator performance" in
+``docs/PERFORMANCE.md``.
 ``suite``
     List the built-in benchmark kernels with basic properties.
 
@@ -208,6 +213,7 @@ def cmd_profile(args: argparse.Namespace) -> int:
     from repro.obs.export import write_json
     from repro.obs.profile import profile_programs, render_report
 
+    _apply_cache_dir(args)
     programs = _load_all(args.files)
     try:
         report = profile_programs(
@@ -216,6 +222,7 @@ def cmd_profile(args: argparse.Namespace) -> int:
             packets=args.packets,
             sim=not args.no_sim,
             engine=args.engine,
+            jobs=args.jobs,
         )
     except EngineError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -272,28 +279,33 @@ def cmd_bench(args: argparse.Namespace) -> int:
     # through the process default (restored on the way out).  Runs that
     # need a reference-only feature (e.g. the paranoid checker) fall
     # back per-run with a warning instead of aborting the sweep.
+    _apply_cache_dir(args)
     previous = set_default_engine(args.engine)
     try:
         if args.experiment == "table1":
             from repro.harness.table1 import render_table1, run_table1
 
-            print(render_table1(run_table1()))
+            print(render_table1(run_table1(jobs=args.jobs)))
         elif args.experiment == "table2":
             from repro.harness.table2 import render_table2, run_table2
 
-            print(render_table2(run_table2()))
+            print(render_table2(run_table2(jobs=args.jobs)))
         elif args.experiment == "table3":
             from repro.harness.table3 import render_table3, run_table3
 
-            print(render_table3(run_table3()))
+            print(render_table3(run_table3(jobs=args.jobs)))
         elif args.experiment == "perf":
             from repro.harness.perf import render_perf, run_perf
 
             print(render_perf(run_perf()))
+        elif args.experiment == "alloc":
+            from repro.harness.allocperf import render_alloc, run_alloc_bench
+
+            print(render_alloc(run_alloc_bench(jobs=args.jobs or None)))
         else:
             from repro.harness.fig14 import render_fig14, run_fig14
 
-            print(render_fig14(run_fig14()))
+            print(render_fig14(run_fig14(jobs=args.jobs)))
     finally:
         set_default_engine(previous)
     return 0
@@ -306,6 +318,32 @@ def cmd_suite(args: argparse.Namespace) -> int:
         density = 100.0 * program.count_csb() / len(program.instrs)
         print(f"{name:14} {len(program.instrs):6} {density:5.1f}")
     return 0
+
+
+def _apply_cache_dir(args: argparse.Namespace) -> None:
+    """Point the global analysis cache at ``--cache-dir`` when given."""
+    cache_dir = getattr(args, "cache_dir", None)
+    if cache_dir:
+        from repro.core.cache import set_cache_dir
+
+        set_cache_dir(cache_dir)
+
+
+def _add_perf_flags(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for parallel sweeps and analysis cache "
+        "misses (default 1: serial; results are identical either way)",
+    )
+    p.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        dest="cache_dir",
+        help="persist the analysis cache in DIR across runs "
+        "(default: in-memory only, or $REPRO_CACHE_DIR when set)",
+    )
 
 
 def _add_engine_flag(p: argparse.ArgumentParser) -> None:
@@ -388,6 +426,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--json", metavar="OUT.json", help="write the report as JSON")
     _add_engine_flag(p)
+    _add_perf_flags(p)
     p.set_defaults(func=cmd_profile)
 
     p = sub.add_parser("compile", help="compile npc source to npir assembly")
@@ -406,10 +445,11 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("bench", help="regenerate a paper table/figure")
     p.add_argument(
         "experiment",
-        choices=["table1", "table2", "table3", "fig14", "perf"],
+        choices=["table1", "table2", "table3", "fig14", "perf", "alloc"],
     )
     _add_engine_flag(p)
     _add_obs_flags(p)
+    _add_perf_flags(p)
     p.set_defaults(func=cmd_bench)
 
     p = sub.add_parser("suite", help="list built-in benchmarks")

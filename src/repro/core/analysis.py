@@ -65,10 +65,63 @@ class ThreadAnalysis:
     #: Per range: every (slot, other_range) pair that truly conflicts
     #: (precomputed so the allocator's hot loop is pure dict/set lookups).
     conflicts_at: Dict[Reg, Tuple[Tuple[int, "Reg"], ...]] = None  # type: ignore[assignment]
+    #: Lazy per-slot regrouping of ``conflicts_at`` (see
+    #: :meth:`conflicts_by_slot`); never compared or printed.
+    _conflict_slot_index: Dict[
+        Reg, Dict[int, Tuple[Tuple[int, "Reg"], ...]]
+    ] = field(default_factory=dict, repr=False, compare=False)
+    #: Lazy per-pair regrouping of ``conflicts_at`` (see
+    #: :meth:`conflict_pairs`); never compared or printed.
+    _conflict_pair_index: Dict[
+        Tuple["Reg", "Reg"], Tuple[int, ...]
+    ] = field(default=None, repr=False, compare=False)  # type: ignore[assignment]
 
     @property
     def all_regs(self) -> List[Reg]:
         return sorted(self.slots, key=str)
+
+    def conflicts_by_slot(
+        self, reg: Reg
+    ) -> Dict[int, Tuple[Tuple[int, "Reg"], ...]]:
+        """``conflicts_at[reg]`` regrouped by slot, built on first use.
+
+        Each value keeps the ``(slot, other)`` pairs in their original
+        ``conflicts_at`` order, so walking the groups for an increasing
+        slot sequence replays the exact subsequence a linear scan of
+        ``conflicts_at[reg]`` filtered to those slots would visit --
+        which is what lets the allocator's piece probes skip the slots a
+        split piece does not own without changing any iteration order.
+        """
+        index = self._conflict_slot_index.get(reg)
+        if index is None:
+            index = {}
+            for pair in self.conflicts_at.get(reg, ()):
+                index.setdefault(pair[0], []).append(pair)
+            index = {s: tuple(pairs) for s, pairs in index.items()}
+            self._conflict_slot_index[reg] = index
+        return index
+
+    def conflict_pairs(self) -> Dict[Tuple["Reg", "Reg"], Tuple[int, ...]]:
+        """Each unordered conflicting range pair once, with its slots.
+
+        ``conflicts_at`` records every conflict in both directions; this
+        deduplicates to ``(a, b)`` with ``str(a) < str(b)`` and collects
+        the ascending slot list where the pair truly conflicts.  Built on
+        first use and cached -- context validation sweeps it after every
+        committed reduction step, and for unsplit ranges one color
+        comparison per *pair* replaces one per (slot, pair) entry.
+        """
+        index = self._conflict_pair_index
+        if index is None:
+            grouped: Dict[Tuple["Reg", "Reg"], List[int]] = {}
+            for a, pairs in self.conflicts_at.items():
+                sa = str(a)
+                for s, b in pairs:
+                    if sa < str(b):
+                        grouped.setdefault((a, b), []).append(s)
+            index = {k: tuple(v) for k, v in grouped.items()}
+            self._conflict_pair_index = index
+        return index
 
     def interferes_at(self, a: Reg, b: Reg, slot: int) -> bool:
         """Do ranges ``a`` and ``b`` truly conflict at ``slot``?

@@ -1,0 +1,284 @@
+"""Content-addressed memoization of per-thread analysis artifacts.
+
+:func:`~repro.core.analysis.analyze_thread` and
+:func:`~repro.core.bounds.estimate_bounds` are pure functions of the
+program text: liveness, NSRs, the interference graphs, and the four
+register bounds do not depend on the register budget, the policy, or the
+other threads on the PU.  Every experiment harness nevertheless used to
+recompute them per ``(kernel, nthd, nreg)`` sweep point -- by far the
+largest share of allocation wall time (see ``docs/PERFORMANCE.md``).
+
+This module memoizes both behind :meth:`Program.fingerprint`:
+
+* an in-process LRU (:class:`AnalysisCache`) shared by the whole
+  pipeline through :func:`get_cache`;
+* an optional on-disk layer (``REPRO_CACHE_DIR`` or ``--cache-dir``)
+  that persists pickled ``(analysis, bounds)`` pairs across processes,
+  keyed by the same fingerprint;
+* telemetry: ``cache.hit`` / ``cache.miss`` counters and events through
+  :mod:`repro.obs` whenever a capture is active, plus always-on plain
+  counters in :class:`CacheStats` for benchmarks and tests.
+
+Cached values are shared objects: callers must treat a returned
+:class:`ThreadAnalysis` (and the ``coloring`` inside its
+:class:`Bounds`) as immutable, which the allocator pipeline already
+does -- contexts reference an analysis but never write to it.  Because
+keys are content hashes there is no invalidation protocol: mutating a
+program changes its fingerprint, and the stale entry simply ages out of
+the LRU.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import pickle
+import tempfile
+from collections import OrderedDict
+from contextlib import contextmanager
+from dataclasses import asdict, dataclass
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+from repro.core.analysis import ThreadAnalysis, analyze_thread
+from repro.core.bounds import Bounds, estimate_bounds
+from repro.ir.program import Program
+from repro.obs import events as obs
+from repro.obs import metrics as obs_metrics
+
+#: Environment variable naming the on-disk cache directory.
+ENV_CACHE_DIR = "REPRO_CACHE_DIR"
+
+#: Default in-process LRU capacity (entries, i.e. distinct programs).
+DEFAULT_CAPACITY = 128
+
+
+@dataclass
+class CacheStats:
+    """Always-on plain counters (telemetry-independent)."""
+
+    hits: int = 0
+    misses: int = 0
+    disk_hits: int = 0
+    disk_errors: int = 0
+    evictions: int = 0
+
+    def to_dict(self) -> Dict[str, int]:
+        return asdict(self)
+
+
+class _Entry:
+    """One cached program: the analysis, with bounds filled in lazily."""
+
+    __slots__ = ("analysis", "bounds")
+
+    def __init__(self, analysis: ThreadAnalysis, bounds: Optional[Bounds]):
+        self.analysis = analysis
+        self.bounds = bounds
+
+
+def _analyze_worker(program: Program) -> Tuple[ThreadAnalysis, Bounds]:
+    """Top-level (picklable) worker: full analysis bundle for one program."""
+    analysis = analyze_thread(program)
+    return analysis, estimate_bounds(analysis)
+
+
+class AnalysisCache:
+    """Fingerprint-keyed LRU over ``(ThreadAnalysis, Bounds)`` pairs."""
+
+    def __init__(
+        self,
+        capacity: int = DEFAULT_CAPACITY,
+        cache_dir: Optional[Union[str, pathlib.Path]] = None,
+    ):
+        if capacity < 1:
+            raise ValueError(f"cache capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        if cache_dir is None:
+            cache_dir = os.environ.get(ENV_CACHE_DIR) or None
+        self.cache_dir = pathlib.Path(cache_dir) if cache_dir else None
+        self.stats = CacheStats()
+        self._entries: "OrderedDict[str, _Entry]" = OrderedDict()
+
+    # ------------------------------------------------------------------
+    # Public API.
+    # ------------------------------------------------------------------
+    def analyze(self, program: Program) -> ThreadAnalysis:
+        """Memoized :func:`analyze_thread` (treat the result as immutable)."""
+        return self._entry(program.fingerprint(), program).analysis
+
+    def bounds(self, program: Program) -> Bounds:
+        """Memoized :func:`estimate_bounds` of the program's analysis."""
+        fp = program.fingerprint()
+        entry = self._entry(fp, program)
+        if entry.bounds is None:
+            entry.bounds = estimate_bounds(entry.analysis)
+            self._disk_store(fp, entry)
+        return entry.bounds
+
+    def analyze_with_bounds(
+        self, program: Program
+    ) -> Tuple[ThreadAnalysis, Bounds]:
+        """Both artifacts in one lookup."""
+        return self.analyze(program), self.bounds(program)
+
+    def warm_many(
+        self, programs: Sequence[Program], jobs: int = 1
+    ) -> List[Tuple[ThreadAnalysis, Bounds]]:
+        """Fill the cache for ``programs`` and return their pairs in order.
+
+        With ``jobs > 1`` the cache misses are analysed in a parallel
+        sweep (:func:`repro.harness.sweep.sweep_map`) and the results
+        folded back into this (parent-process) cache, so a subsequent
+        serial pass is fully warm.  Duplicate programs are analysed once.
+        """
+        fps = [p.fingerprint() for p in programs]
+        missing: "OrderedDict[str, Program]" = OrderedDict()
+        for fp, program in zip(fps, programs):
+            if fp not in self._entries and fp not in missing:
+                if self._disk_load(fp) is None:
+                    missing[fp] = program
+        if missing and jobs > 1:
+            from repro.harness.sweep import sweep_map
+
+            pairs = sweep_map(
+                _analyze_worker, list(missing.values()), jobs=jobs,
+                label="analyze",
+            )
+            for fp, (analysis, bounds) in zip(missing, pairs):
+                self._count_miss(fp)
+                entry = _Entry(analysis, bounds)
+                self._insert(fp, entry)
+                self._disk_store(fp, entry)
+                # _entry() below must not re-count these as fresh misses.
+        return [
+            (self._entry(fp, p).analysis, self.bounds(p))
+            for fp, p in zip(fps, programs)
+        ]
+
+    def clear(self) -> None:
+        """Drop every in-memory entry (the disk layer is left alone)."""
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, program: Program) -> bool:
+        return program.fingerprint() in self._entries
+
+    # ------------------------------------------------------------------
+    # Internals.
+    # ------------------------------------------------------------------
+    def _note(self, event: str, fp: str) -> None:
+        em = obs.get_emitter()
+        if em.enabled:
+            em.emit(event, fingerprint=fp[:12])
+            obs_metrics.registry().counter(event).inc()
+
+    def _count_miss(self, fp: str) -> None:
+        self.stats.misses += 1
+        self._note("cache.miss", fp)
+
+    def _entry(self, fp: str, program: Program) -> _Entry:
+        entry = self._entries.get(fp)
+        if entry is not None:
+            self._entries.move_to_end(fp)
+            self.stats.hits += 1
+            self._note("cache.hit", fp)
+            return entry
+        entry = self._disk_load(fp)
+        if entry is not None:
+            self.stats.hits += 1
+            self.stats.disk_hits += 1
+            self._note("cache.hit", fp)
+            self._insert(fp, entry)
+            return entry
+        self._count_miss(fp)
+        entry = _Entry(analyze_thread(program), None)
+        self._insert(fp, entry)
+        self._disk_store(fp, entry)
+        return entry
+
+    def _insert(self, fp: str, entry: _Entry) -> None:
+        self._entries[fp] = entry
+        self._entries.move_to_end(fp)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    # ------------------------------------------------------------------
+    # On-disk layer.
+    # ------------------------------------------------------------------
+    def _disk_path(self, fp: str) -> Optional[pathlib.Path]:
+        return self.cache_dir / f"{fp}.pkl" if self.cache_dir else None
+
+    def _disk_load(self, fp: str) -> Optional[_Entry]:
+        path = self._disk_path(fp)
+        if path is None:
+            return None
+        try:
+            with path.open("rb") as fh:
+                analysis, bounds = pickle.load(fh)
+            if not isinstance(analysis, ThreadAnalysis):
+                raise TypeError(f"unexpected payload in {path}")
+            return _Entry(analysis, bounds)
+        except FileNotFoundError:
+            return None
+        except Exception:
+            # A corrupt / foreign / version-skewed file is just a miss.
+            self.stats.disk_errors += 1
+            return None
+
+    def _disk_store(self, fp: str, entry: _Entry) -> None:
+        path = self._disk_path(fp)
+        if path is None:
+            return
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(
+                dir=str(path.parent), suffix=".tmp"
+            )
+            try:
+                with os.fdopen(fd, "wb") as fh:
+                    pickle.dump(
+                        (entry.analysis, entry.bounds),
+                        fh,
+                        protocol=pickle.HIGHEST_PROTOCOL,
+                    )
+                os.replace(tmp, path)  # atomic: readers never see partials
+            except BaseException:
+                os.unlink(tmp)
+                raise
+        except OSError:
+            self.stats.disk_errors += 1
+
+
+_cache = AnalysisCache()
+
+
+def get_cache() -> AnalysisCache:
+    """The process-global analysis cache."""
+    return _cache
+
+
+def set_cache(cache: AnalysisCache) -> AnalysisCache:
+    """Install ``cache`` globally; returns the previous cache."""
+    global _cache
+    previous = _cache
+    _cache = cache
+    return previous
+
+
+def set_cache_dir(path: Optional[Union[str, pathlib.Path]]) -> None:
+    """Point the global cache's on-disk layer at ``path`` (None disables)."""
+    _cache.cache_dir = pathlib.Path(path) if path else None
+
+
+@contextmanager
+def scoped(cache: Optional[AnalysisCache] = None) -> Iterator[AnalysisCache]:
+    """Swap in a fresh (or given) cache for the block, restoring on exit."""
+    fresh = cache if cache is not None else AnalysisCache()
+    previous = set_cache(fresh)
+    try:
+        yield fresh
+    finally:
+        set_cache(previous)

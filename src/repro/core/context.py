@@ -182,9 +182,19 @@ class AllocContext:
         assign = self._assign
         slots = piece.slots
         whole = len(slots) == len(self.analysis.slots[piece.reg])
-        for s, other_reg in self.analysis.conflicts_at.get(piece.reg, ()):
-            if not whole and s not in slots:
-                continue
+        if whole:
+            pairs = self.analysis.conflicts_at.get(piece.reg, ())
+        else:
+            # Split piece: visit only the slots it owns, via the per-slot
+            # index.  Ascending slots, original order within each slot --
+            # the exact subsequence the linear scan above would keep.
+            index = self.analysis.conflicts_by_slot(piece.reg)
+            pairs = [
+                pair
+                for s in sorted(slots)
+                for pair in index.get(s, ())
+            ]
+        for s, other_reg in pairs:
             other = pieces[assign[other_reg][s]]
             entry = by_color.get(other.color)
             if entry is None:
@@ -301,18 +311,30 @@ class AllocContext:
                     f"boundary piece {piece.pid} ({piece.reg}) uses shared "
                     f"color {piece.color} (pr={self.pr})"
                 )
-        for s, regs in an.occupants.items():
-            for x in range(len(regs)):
-                for y in range(x + 1, len(regs)):
-                    a, b = regs[x], regs[y]
-                    if not an.interferes_at(a, b, s):
-                        continue
-                    pa, pb = self.piece_of(a, s), self.piece_of(b, s)
-                    if pa.color == pb.color:
-                        raise AllocationError(
-                            f"{a} and {b} conflict at slot {s} but share "
-                            f"color {pa.color}"
-                        )
+        # Walk the precomputed true-conflict pairs instead of re-deriving
+        # them from occupants x occupants interferes_at() probes -- the
+        # same checks at a fraction of the cost.  When neither range of a
+        # pair is split, every conflicting slot compares the same two
+        # pieces, so a single comparison covers them all; only pairs with
+        # a split side need the per-slot sweep.
+        pieces = self.pieces
+        assign = self._assign
+        counts = self._piece_count
+        for (a, b), cslots in an.conflict_pairs().items():
+            ma = assign.get(a)
+            mb = assign.get(b)
+            if ma is None or mb is None:
+                continue  # no slots: vacuously checked by the first loop
+            if counts.get(a, 0) == 1 and counts.get(b, 0) == 1:
+                cslots = cslots[:1]
+            for s in cslots:
+                pa = pieces[ma[s]]
+                pb = pieces[mb[s]]
+                if pa.color == pb.color:
+                    raise AllocationError(
+                        f"{a} and {b} conflict at slot {s} but share "
+                        f"color {pa.color}"
+                    )
 
 
 def initial_context(

@@ -92,6 +92,7 @@ def allocate_threads(
     zero_cost_only: bool = False,
     policy: str = "greedy",
     bounds: Optional[Sequence[Bounds]] = None,
+    _max_steps: Optional[int] = None,
 ) -> InterThreadResult:
     """Run the Figure-8 loop over one PU's threads.
 
@@ -103,10 +104,14 @@ def allocate_threads(
         policy: ``"greedy"`` (paper) or ``"round_robin"`` (ablation).
         bounds: optional precomputed per-thread bounds (same order as
             ``analyses``); estimated here when omitted.
+        _max_steps: test hook overriding the safety step cap; leave None
+            outside tests.
 
     Raises:
         AllocationError: the programs cannot fit ``nreg`` registers even at
-            their lower bounds.
+            their lower bounds -- or, as a loud invariant failure, the
+            loop was stopped by the safety step cap instead of budget
+            satisfaction or bound exhaustion.
     """
     if policy not in ("greedy", "round_robin"):
         raise ValueError(f"unknown policy {policy!r}")
@@ -171,7 +176,17 @@ def allocate_threads(
             policy=policy,
             zero_cost_only=zero_cost_only,
         )
-    max_steps = sum(b.bounds.max_r for b in allocators) + nthd + 8
+    # Safety cap only: every committed step retires at least one unit of
+    # reducible slack (a PR, a shiftable color, or the shared max), so the
+    # loop must stop earlier -- via budget satisfaction, bound exhaustion,
+    # or the zero-cost cutoff.  Reaching the cap means that invariant
+    # broke, and the for/else below turns it into a loud failure instead
+    # of silently returning a half-reduced allocation.
+    max_steps = (
+        _max_steps
+        if _max_steps is not None
+        else sum(b.bounds.max_r for b in allocators) + nthd + 8
+    )
     for _ in range(max_steps):
         if not zero_cost_only and requirement() <= nreg:
             break
@@ -276,10 +291,22 @@ def allocate_threads(
             reg.counter(f"inter.steps.{kind}").inc()
             reg.histogram("inter.step_delta").observe(delta)
     else:
-        if not zero_cost_only and requirement() > nreg:
-            raise AllocationError(
-                "inter-thread reduction failed to converge"
+        if em.enabled:
+            em.emit(
+                "inter.step_cap",
+                steps=step_no,
+                max_steps=max_steps,
+                requirement=requirement(),
+                nreg=nreg,
+                zero_cost_only=zero_cost_only,
             )
+            assert reg is not None
+            reg.counter("inter.step_cap").inc()
+        raise AllocationError(
+            f"inter-thread reduction stopped by the step cap "
+            f"({step_no} steps, cap {max_steps}) instead of budget "
+            f"satisfaction or bound exhaustion"
+        )
 
     if em.enabled:
         em.emit(

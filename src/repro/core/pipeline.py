@@ -13,9 +13,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
-from repro.core.analysis import ThreadAnalysis, analyze_thread
+from repro.core.analysis import ThreadAnalysis
 from repro.core.assign import RegisterAssignment, assign_physical
-from repro.core.bounds import estimate_bounds
+from repro.core.cache import get_cache
 from repro.core.inter import InterThreadResult, allocate_threads
 from repro.core.rewrite import rewrite_program
 from repro.errors import AllocationError
@@ -65,6 +65,7 @@ def allocate_programs(
     nreg: int,
     check_init: bool = True,
     policy: str = "greedy",
+    jobs: int = 1,
 ) -> AllocationOutcome:
     """Allocate registers for one PU running ``programs`` on its threads.
 
@@ -74,16 +75,28 @@ def allocate_programs(
         check_init: also verify no register is read uninitialised.
         policy: inter-thread reduction policy (``greedy`` or the
             ``round_robin`` ablation).
+        jobs: analyze cache misses in this many worker processes
+            (``repro.harness.sweep``); 1 keeps everything in-process.
+
+    Analysis and bounds are memoized per program content through
+    :func:`repro.core.cache.get_cache`; repeated allocations of the
+    same thread programs (sweeps over ``nreg``, spill-fallback retries)
+    skip straight to the inter-thread phase.
     """
+    cache = get_cache()
     em = obs.get_emitter()
     with em.span("allocate", threads=len(programs), nreg=nreg, policy=policy):
         with em.span("validate"):
             for program in programs:
                 validate_program(program, check_init=check_init)
         with em.span("analyze"):
-            analyses = [analyze_thread(p) for p in programs]
+            if jobs > 1:
+                pairs = cache.warm_many(programs, jobs=jobs)
+                analyses = [a for a, _ in pairs]
+            else:
+                analyses = [cache.analyze(p) for p in programs]
         with em.span("bounds"):
-            bounds = [estimate_bounds(a) for a in analyses]
+            bounds = [cache.bounds(p) for p in programs]
         with em.span("inter"):
             inter = allocate_threads(analyses, nreg, policy=policy, bounds=bounds)
         with em.span("assign"):
@@ -126,6 +139,7 @@ def allocate_with_spill_fallback(
     nreg: int,
     check_init: bool = True,
     max_spill_rounds: int = 16,
+    jobs: int = 1,
 ) -> HybridOutcome:
     """Cross-thread allocation with graceful degradation.
 
@@ -144,17 +158,21 @@ def allocate_with_spill_fallback(
     )
     from repro.baseline.single_thread import SPILL_AREA_STRIDE
 
+    cache = get_cache()
     current = [p.copy() for p in programs]
     spilled: Dict[int, int] = {}
     for _ in range(max_spill_rounds):
         try:
-            outcome = allocate_programs(current, nreg, check_init=check_init)
+            outcome = allocate_programs(
+                current, nreg, check_init=check_init, jobs=jobs
+            )
             return HybridOutcome(outcome=outcome, spilled_per_thread=spilled)
         except AllocationError:
             pass
-        bounds = [
-            estimate_bounds(analyze_thread(p)) for p in current
-        ]
+        # The failed allocate_programs call above already populated the
+        # cache, so only threads rewritten by a previous spill round pay
+        # for re-analysis here.
+        bounds = [cache.bounds(p) for p in current]
         # Relieve the thread with the largest private-register floor.
         idx = max(range(len(current)), key=lambda i: bounds[i].min_pr)
         target = max(bounds[idx].min_r - 2, 3)

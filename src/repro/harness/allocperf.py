@@ -1,0 +1,236 @@
+"""Allocation-pipeline throughput: cold vs warm-cache vs parallel.
+
+The sweep grid covers every benchmark kernel at ``nthd`` identical
+threads under three register budgets derived from its own bounds --
+the zero-reduction ceiling (``nthd*MaxPR + MaxSR``), the feasibility
+floor (``nthd*MinPR + MinSRmax``), approached from above, and their
+midpoint -- so the measured work spans "no reduction needed" through
+"heavy Figure-8/10 splitting".
+
+Three passes over the same grid, all through the public
+:func:`~repro.core.pipeline.allocate_programs` entry point:
+
+* **cold** -- a fresh, empty analysis cache; every point re-analyzes.
+  This is exactly what the pipeline did before :mod:`repro.core.cache`
+  existed, so cold vs warm is the caching win, not an artifact of the
+  harness.
+* **warm** -- the same cache again, now populated: only the
+  budget-dependent phases (inter/assign/rewrite) still run.
+* **parallel** -- the grid through
+  :func:`~repro.harness.sweep.sweep_map` with ``jobs > 1`` worker
+  processes forked from the warm parent (the analysis cache rides
+  along fork copy-on-write); best wall-clock of two runs, since pool
+  spin-up absorbs most of the scheduler noise on a loaded host.  Its
+  baseline is still the *cold serial* pass: this is the wall-clock a
+  user gets from ``--jobs`` on a warmed CLI session.
+
+Every pass records the full allocation summary of every point (PR/SR
+vectors, move costs, SGR, totals, and the fingerprints of the rewritten
+programs); the report's ``identical`` flag is the byte-for-byte JSON
+equality of the three summary lists, and any mismatch invalidates the
+speedups.  ``repro bench alloc`` or ``pytest benchmarks/bench_alloc.py
+--benchmark-only -s`` regenerates ``benchmarks/out/BENCH_alloc.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import re
+
+from repro.core.cache import AnalysisCache, CacheStats, get_cache, scoped
+from repro.core.pipeline import allocate_programs
+from repro.errors import AllocationError
+from repro.harness.report import text_table
+from repro.harness.sweep import default_jobs, sweep_map
+from repro.suite.registry import BENCHMARKS, load
+
+#: A sweep point: (kernel name, register budget, threads per PU).
+Point = Tuple[str, int, int]
+
+
+def _reachable(name: str, nreg: int, nthd: int, ceiling: int) -> int:
+    """Smallest budget >= ``nreg`` the greedy loop actually satisfies.
+
+    The per-thread bounds floor (``nthd*MinPR + MinSRmax``) is a lower
+    bound on any allocation, but the Figure-8 loop is greedy and can
+    bottom out a few registers above it; probe upward from the requested
+    budget until allocation succeeds, guided by the requirement the
+    failed run reports.
+    """
+    while nreg < ceiling:
+        try:
+            allocate_programs([load(name) for _ in range(nthd)], nreg=nreg)
+            return nreg
+        except AllocationError as exc:
+            m = re.search(r"cannot fit (\d+) required", str(exc))
+            nreg = int(m.group(1)) if m else nreg + 1
+    return ceiling
+
+
+def build_grid(
+    names: Optional[Sequence[str]] = None, nthd: int = 4
+) -> List[Point]:
+    """The suite x budget grid, each budget derived from the kernel's
+    own bounds and probed for greedy feasibility."""
+    cache = get_cache()
+    grid: List[Point] = []
+    for name in names or list(BENCHMARKS):
+        b = cache.bounds(load(name))
+        floor = nthd * b.min_pr + (b.min_r - b.min_pr)
+        ceiling = nthd * b.max_pr + (b.max_r - b.max_pr)
+        near_floor = min(floor + max(1, (ceiling - floor) // 4), ceiling)
+        mid = (floor + ceiling) // 2
+        budgets = {ceiling}
+        for nreg in (mid, near_floor):
+            budgets.add(_reachable(name, nreg, nthd, ceiling))
+        for nreg in sorted(budgets, reverse=True):
+            grid.append((name, nreg, nthd))
+    return grid
+
+
+def _alloc_summary(point: Point) -> Dict[str, Any]:
+    """Allocate one grid point and distill the full decision summary."""
+    name, nreg, nthd = point
+    programs = [load(name) for _ in range(nthd)]
+    out = allocate_programs(programs, nreg=nreg)
+    return {
+        "name": name,
+        "nreg": nreg,
+        "nthd": nthd,
+        "pr": [t.pr for t in out.inter.threads],
+        "sr": [t.sr for t in out.inter.threads],
+        "moves": [t.move_cost for t in out.inter.threads],
+        "sgr": out.sgr,
+        "total_registers": out.total_registers,
+        "total_moves": out.total_moves,
+        "programs": [p.fingerprint() for p in out.programs],
+    }
+
+
+@dataclass
+class AllocBenchReport:
+    """Everything ``BENCH_alloc.json`` carries."""
+
+    points: List[Dict[str, Any]]
+    cold_s: float
+    warm_s: float
+    parallel_s: float
+    jobs: int
+    cpu_count: int
+    cache: Dict[str, int]
+    identical: bool
+    kernels: List[str] = field(default_factory=list)
+
+    @property
+    def warm_speedup(self) -> float:
+        return self.cold_s / self.warm_s if self.warm_s else 0.0
+
+    @property
+    def parallel_speedup(self) -> float:
+        return self.cold_s / self.parallel_s if self.parallel_s else 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kernels": self.kernels,
+            "grid_points": len(self.points),
+            "cold_s": self.cold_s,
+            "warm_s": self.warm_s,
+            "parallel_s": self.parallel_s,
+            "warm_speedup": self.warm_speedup,
+            "parallel_speedup": self.parallel_speedup,
+            "jobs": self.jobs,
+            "cpu_count": self.cpu_count,
+            "cache": self.cache,
+            "identical": self.identical,
+            "points": self.points,
+        }
+
+
+def run_alloc_bench(
+    names: Optional[Sequence[str]] = None,
+    nthd: int = 4,
+    jobs: Optional[int] = None,
+) -> AllocBenchReport:
+    """Measure the three passes over the grid (see the module docstring).
+
+    ``jobs`` defaults to ``max(2, min(4, os.cpu_count()))`` so the
+    parallel pass always actually exercises worker processes.
+    """
+    if jobs is None:
+        jobs = max(2, min(4, default_jobs()))
+    names = list(names or BENCHMARKS)
+    with scoped(AnalysisCache(capacity=256)) as cache:
+        grid = build_grid(names, nthd=nthd)
+        # Building the grid probed bounds; the cold pass must not see that.
+        cache.clear()
+        cache.stats = CacheStats()
+
+        start = time.perf_counter()
+        cold = [_alloc_summary(p) for p in grid]
+        cold_s = time.perf_counter() - start
+
+        start = time.perf_counter()
+        warm = [_alloc_summary(p) for p in grid]
+        warm_s = time.perf_counter() - start
+
+        # Workers fork from this (warm) process; the baseline remains
+        # the cold serial pass above.  Best of two runs: pool spin-up
+        # and scheduler noise on a loaded host hit the first run hardest.
+        runs: List[List[Dict[str, Any]]] = []
+        parallel_s = float("inf")
+        for _ in range(2):
+            start = time.perf_counter()
+            runs.append(
+                sweep_map(_alloc_summary, grid, jobs=jobs, label="alloc")
+            )
+            parallel_s = min(parallel_s, time.perf_counter() - start)
+        parallel = runs[-1]
+
+        stats = cache.stats.to_dict()
+
+    as_json = [
+        json.dumps(s, sort_keys=True) for s in (cold, warm, *runs)
+    ]
+    identical = all(j == as_json[0] for j in as_json[1:])
+    return AllocBenchReport(
+        points=cold,
+        cold_s=cold_s,
+        warm_s=warm_s,
+        parallel_s=parallel_s,
+        jobs=jobs,
+        cpu_count=os.cpu_count() or 1,
+        cache=stats,
+        identical=identical,
+        kernels=names,
+    )
+
+
+def render_alloc(report: AllocBenchReport) -> str:
+    headers = ["kernel", "Nreg", "used", "SGR", "moves"]
+    rows = [
+        (
+            p["name"], p["nreg"], p["total_registers"], p["sgr"],
+            p["total_moves"],
+        )
+        for p in report.points
+    ]
+    out = (
+        f"Allocation pipeline throughput "
+        f"({len(report.points)} grid points, {report.jobs} jobs, "
+        f"{report.cpu_count} CPUs)\n"
+    )
+    out += text_table(headers, rows)
+    out += (
+        f"\ncold {report.cold_s:.3f}s"
+        f"  warm {report.warm_s:.3f}s ({report.warm_speedup:.2f}x)"
+        f"  parallel {report.parallel_s:.3f}s "
+        f"({report.parallel_speedup:.2f}x)"
+        f"\ncache: {report.cache}"
+        f"\nidentical summaries across passes: {report.identical}"
+    )
+    return out

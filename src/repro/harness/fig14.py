@@ -14,12 +14,14 @@ The headline number is the total saving of ``Nthd*PR + SR`` against
 from __future__ import annotations
 
 from dataclasses import asdict, dataclass
+from functools import partial
 from typing import Any, Dict, List, Optional, Sequence
 
-from repro.core.analysis import analyze_thread
+from repro.core.cache import get_cache
 from repro.core.inter import allocate_threads
 from repro.baseline.single_thread import single_thread_register_count
 from repro.harness.report import text_table
+from repro.harness.sweep import sweep_map
 from repro.suite.registry import BENCHMARKS, load
 
 
@@ -54,29 +56,44 @@ class Fig14Row:
         }
 
 
+def _fig14_row(name: str, nthd: int, nreg: int) -> Fig14Row:
+    """One Figure-14 data point (module-level so sweeps can pickle it).
+
+    The ``nthd`` threads run *the same* program, so it is loaded and
+    analysed exactly once and the :class:`ThreadAnalysis` is shared by
+    every thread slot -- the inter-thread allocator only reads analyses
+    (each thread gets its own :class:`AllocContext`), which
+    ``tests/test_harness_fig14.py`` pins down.
+    """
+    program = load(name)
+    analysis = get_cache().analyze(program)
+    single = single_thread_register_count(program, analysis=analysis)
+    result = allocate_threads(
+        [analysis] * nthd, nreg=nreg, zero_cost_only=True
+    )
+    prs = sorted(t.pr for t in result.threads)
+    return Fig14Row(
+        name=name,
+        single_thread_regs=single,
+        pr=prs[-1],
+        sr=result.sgr,
+        nthd=nthd,
+    )
+
+
 def run_fig14(
     names: Optional[Sequence[str]] = None,
     nthd: int = 4,
     nreg: int = 128,
+    jobs: int = 1,
 ) -> List[Fig14Row]:
-    """Compute every Figure-14 data point."""
-    rows: List[Fig14Row] = []
-    for name in names or list(BENCHMARKS):
-        program = load(name)
-        single = single_thread_register_count(program)
-        analyses = [analyze_thread(load(name)) for _ in range(nthd)]
-        result = allocate_threads(analyses, nreg=nreg, zero_cost_only=True)
-        prs = sorted(t.pr for t in result.threads)
-        rows.append(
-            Fig14Row(
-                name=name,
-                single_thread_regs=single,
-                pr=prs[-1],
-                sr=result.sgr,
-                nthd=nthd,
-            )
-        )
-    return rows
+    """Compute every Figure-14 data point (in parallel when ``jobs>1``)."""
+    return sweep_map(
+        partial(_fig14_row, nthd=nthd, nreg=nreg),
+        list(names or BENCHMARKS),
+        jobs=jobs,
+        label="fig14",
+    )
 
 
 def average_saving(rows: Sequence[Fig14Row]) -> float:

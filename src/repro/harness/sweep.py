@@ -1,0 +1,107 @@
+"""Parallel sweep executor for embarrassingly parallel harness points.
+
+Every paper artifact is a sweep: Table 1 over kernels, Table 2 over
+kernels at their lower bounds, Table 3 over scenarios, Figure 14 over
+benchmarks, the ablation over register budgets.  The points are
+independent, so :func:`sweep_map` runs them through a
+``ProcessPoolExecutor`` while keeping the results in submission order --
+the output is positionally identical to ``[fn(x) for x in items]``.
+
+Degradation is deliberate and quiet-but-visible:
+
+* ``jobs <= 1`` (or a single item) runs serially with no pool at all --
+  the default, and the only mode used by tier-1 tests;
+* a pool that cannot be *built or fed* (fork unavailable, unpicklable
+  worker, a worker killed by the OS) emits a ``RuntimeWarning`` plus a
+  ``sweep.fallback`` telemetry event and re-runs the whole sweep
+  serially, so the only way to lose results is a genuine error in
+  ``fn`` itself -- which then raises exactly as it would have serially.
+
+Workers must be module-level callables (picklable); pair with
+``functools.partial`` to bind per-sweep constants.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import warnings
+from typing import Any, Callable, List, Sequence, TypeVar
+
+from repro.obs import events as obs
+from repro.obs import metrics as obs_metrics
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: Pool-infrastructure failures that trigger the serial fallback.  A
+#: worker raising an application error (e.g. ``AllocationError``) is
+#: NOT meant to be in this set -- though even if one overlaps (an
+#: ``fn`` legitimately raising ``AttributeError``/``TypeError``), the
+#: serial rerun re-raises it faithfully, just without the pool.
+#: ``AttributeError``/``TypeError`` are here because that is what the
+#: multiprocessing feeder surfaces for unpicklable callables (lambdas,
+#: closures) instead of ``PicklingError``.
+_POOL_FAILURES: tuple = (
+    OSError,
+    NotImplementedError,
+    ImportError,
+    AttributeError,
+    TypeError,
+)
+
+
+def default_jobs() -> int:
+    """A sensible ``--jobs`` default: the visible CPU count."""
+    return os.cpu_count() or 1
+
+
+def _pool_failure_types() -> tuple:
+    """Lazily extend :data:`_POOL_FAILURES` with concurrent.futures types."""
+    try:
+        from concurrent.futures.process import BrokenProcessPool
+
+        return _POOL_FAILURES + (BrokenProcessPool, pickle.PicklingError)
+    except ImportError:  # pragma: no cover - stdlib always has it
+        return _POOL_FAILURES + (pickle.PicklingError,)
+
+
+def _note_fallback(label: str, reason: str) -> None:
+    em = obs.get_emitter()
+    if em.enabled:
+        em.emit("sweep.fallback", label=label, reason=reason)
+        obs_metrics.registry().counter("sweep.fallback").inc()
+
+
+def sweep_map(
+    fn: Callable[[T], R],
+    items: Sequence[T],
+    jobs: int = 1,
+    label: str = "sweep",
+) -> List[R]:
+    """``[fn(x) for x in items]``, parallel over ``jobs`` processes.
+
+    Results come back in submission order regardless of completion
+    order, so a parallel sweep is positionally indistinguishable from
+    the serial one.  See the module docstring for the fallback rules.
+    """
+    items = list(items)
+    if jobs <= 1 or len(items) <= 1:
+        return [fn(item) for item in items]
+    try:
+        from concurrent.futures import ProcessPoolExecutor
+
+        with ProcessPoolExecutor(max_workers=min(jobs, len(items))) as pool:
+            # Executor.map preserves input order; chunksize=1 keeps the
+            # points independently schedulable (they are coarse-grained).
+            return list(pool.map(fn, items, chunksize=1))
+    except _pool_failure_types() as exc:
+        reason = f"{type(exc).__name__}: {exc}"
+        warnings.warn(
+            f"sweep {label!r}: process pool unavailable ({reason}); "
+            "falling back to a serial run",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        _note_fallback(label, reason)
+        return [fn(item) for item in items]

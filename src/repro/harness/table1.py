@@ -9,11 +9,12 @@ coloring upper bounds ``MaxR`` / ``MaxPR``, and NSR count / average size.
 from __future__ import annotations
 
 from dataclasses import asdict, dataclass
+from functools import partial
 from typing import Any, Dict, List, Optional, Sequence
 
-from repro.core.analysis import analyze_thread
-from repro.core.bounds import estimate_bounds
+from repro.core.cache import get_cache
 from repro.harness.report import text_table
+from repro.harness.sweep import sweep_map
 from repro.sim.run import run_reference
 from repro.suite.registry import BENCHMARKS, load
 
@@ -36,32 +37,36 @@ class Table1Row:
         return asdict(self)
 
 
+def _table1_row(name: str, packets: int) -> Table1Row:
+    """One Table-1 row (module-level so sweeps can pickle it)."""
+    program = load(name)
+    analysis, bounds = get_cache().analyze_with_bounds(program)
+    ref = run_reference([program], packets_per_thread=packets)
+    return Table1Row(
+        name=name,
+        instructions=len(program.instrs),
+        cycles_per_iter=ref.thread_cpi(0),
+        ctx_instrs=program.count_csb(),
+        live_ranges=len(analysis.all_regs),
+        reg_p_max=bounds.min_r,
+        reg_p_csb_max=bounds.min_pr,
+        max_r=bounds.max_r,
+        max_pr=bounds.max_pr,
+        n_nsr=analysis.nsr.n_regions,
+        avg_nsr_size=analysis.nsr.average_region_size(),
+    )
+
+
 def run_table1(
-    names: Optional[Sequence[str]] = None, packets: int = 8
+    names: Optional[Sequence[str]] = None, packets: int = 8, jobs: int = 1
 ) -> List[Table1Row]:
     """Compute every Table-1 row (all benchmarks by default)."""
-    rows: List[Table1Row] = []
-    for name in names or list(BENCHMARKS):
-        program = load(name)
-        analysis = analyze_thread(program)
-        bounds = estimate_bounds(analysis)
-        ref = run_reference([program], packets_per_thread=packets)
-        rows.append(
-            Table1Row(
-                name=name,
-                instructions=len(program.instrs),
-                cycles_per_iter=ref.thread_cpi(0),
-                ctx_instrs=program.count_csb(),
-                live_ranges=len(analysis.all_regs),
-                reg_p_max=bounds.min_r,
-                reg_p_csb_max=bounds.min_pr,
-                max_r=bounds.max_r,
-                max_pr=bounds.max_pr,
-                n_nsr=analysis.nsr.n_regions,
-                avg_nsr_size=analysis.nsr.average_region_size(),
-            )
-        )
-    return rows
+    return sweep_map(
+        partial(_table1_row, packets=packets),
+        list(names or BENCHMARKS),
+        jobs=jobs,
+        label="table1",
+    )
 
 
 def render_table1(rows: Sequence[Table1Row]) -> str:

@@ -12,10 +12,10 @@ from __future__ import annotations
 from dataclasses import asdict, dataclass
 from typing import Any, Dict, List, Optional, Sequence
 
-from repro.core.analysis import analyze_thread
-from repro.core.bounds import estimate_bounds
+from repro.core.cache import get_cache
 from repro.core.intra import IntraAllocator
 from repro.harness.report import text_table
+from repro.harness.sweep import sweep_map
 from repro.suite.registry import BENCHMARKS, load
 
 
@@ -37,29 +37,30 @@ class Table2Row:
         return {**asdict(self), "overhead": self.overhead}
 
 
-def run_table2(names: Optional[Sequence[str]] = None) -> List[Table2Row]:
+def _table2_row(name: str) -> Table2Row:
+    """One Table-2 row (module-level so sweeps can pickle it)."""
+    program = load(name)
+    analysis, bounds = get_cache().analyze_with_bounds(program)
+    allocator = IntraAllocator(analysis, bounds)
+    context = allocator.realize(bounds.min_pr, bounds.min_r - bounds.min_pr)
+    return Table2Row(
+        name=name,
+        instructions=len(analysis.program.instrs),
+        min_pr=bounds.min_pr,
+        min_r=bounds.min_r,
+        max_pr=bounds.max_pr,
+        max_r=bounds.max_r,
+        moves=context.move_cost(),
+    )
+
+
+def run_table2(
+    names: Optional[Sequence[str]] = None, jobs: int = 1
+) -> List[Table2Row]:
     """Realize the minimal allocation for each benchmark, counting moves."""
-    rows: List[Table2Row] = []
-    for name in names or list(BENCHMARKS):
-        program = load(name)
-        analysis = analyze_thread(program)
-        bounds = estimate_bounds(analysis)
-        allocator = IntraAllocator(analysis, bounds)
-        context = allocator.realize(
-            bounds.min_pr, bounds.min_r - bounds.min_pr
-        )
-        rows.append(
-            Table2Row(
-                name=name,
-                instructions=len(analysis.program.instrs),
-                min_pr=bounds.min_pr,
-                min_r=bounds.min_r,
-                max_pr=bounds.max_pr,
-                max_r=bounds.max_r,
-                moves=context.move_cost(),
-            )
-        )
-    return rows
+    return sweep_map(
+        _table2_row, list(names or BENCHMARKS), jobs=jobs, label="table2"
+    )
 
 
 def render_table2(rows: Sequence[Table2Row]) -> str:

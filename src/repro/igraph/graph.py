@@ -3,11 +3,19 @@
 Nodes are arbitrary hashable values.  Iteration orders are made
 deterministic by sorting on ``str(node)``, so colorings and the allocation
 pipeline built on top are exactly reproducible run to run.
+
+The sorted views (:meth:`nodes`, :meth:`edges`, :meth:`neighbors`) are
+memoized against a mutation version counter: the intra-thread allocator
+re-walks the same graphs thousands of times per probe, and re-sorting an
+unchanged adjacency set on every call dominated its profile.  Mutators
+bump the version only when they actually change the graph (re-adding an
+existing node or edge is free), and every cached list is returned as-is
+-- callers must not mutate the returned lists, which no caller does.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Iterable, Iterator, List, Set, Tuple
+from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Set, Tuple
 
 Node = Hashable
 
@@ -17,28 +25,53 @@ class UndirectedGraph:
 
     def __init__(self) -> None:
         self._adj: Dict[Node, Set[Node]] = {}
+        self._version = 0
+        self._nodes_cache: Optional[List[Node]] = None
+        self._edges_cache: Optional[List[Tuple[Node, Node]]] = None
+        self._nbrs_cache: Dict[Node, List[Node]] = {}
+        self._cache_version = -1
 
     # ------------------------------------------------------------------
     # Construction.
     # ------------------------------------------------------------------
+    def _touch(self) -> None:
+        """Record a structural change, invalidating the sorted views."""
+        self._version += 1
+
+    def _sync_caches(self) -> None:
+        if self._cache_version != self._version:
+            self._nodes_cache = None
+            self._edges_cache = None
+            self._nbrs_cache.clear()
+            self._cache_version = self._version
+
     def add_node(self, node: Node) -> None:
-        self._adj.setdefault(node, set())
+        if node not in self._adj:
+            self._adj[node] = set()
+            self._touch()
 
     def add_edge(self, a: Node, b: Node) -> None:
         if a == b:
             raise ValueError(f"self-loop on {a!r}")
         self.add_node(a)
         self.add_node(b)
-        self._adj[a].add(b)
-        self._adj[b].add(a)
+        if b not in self._adj[a]:
+            self._adj[a].add(b)
+            self._adj[b].add(a)
+            self._touch()
 
     def remove_node(self, node: Node) -> None:
-        for other in self._adj.pop(node, set()):
+        if node not in self._adj:
+            return
+        for other in self._adj.pop(node):
             self._adj[other].discard(node)
+        self._touch()
 
     def remove_edge(self, a: Node, b: Node) -> None:
-        self._adj[a].discard(b)
-        self._adj[b].discard(a)
+        if b in self._adj.get(a, ()):
+            self._adj[a].discard(b)
+            self._adj[b].discard(a)
+            self._touch()
 
     # ------------------------------------------------------------------
     # Queries.
@@ -50,7 +83,10 @@ class UndirectedGraph:
         return len(self._adj)
 
     def nodes(self) -> List[Node]:
-        return sorted(self._adj, key=str)
+        self._sync_caches()
+        if self._nodes_cache is None:
+            self._nodes_cache = sorted(self._adj, key=str)
+        return self._nodes_cache
 
     def edges(self) -> List[Tuple[Node, Node]]:
         """All edges, each once, ordered by node string form.
@@ -58,18 +94,26 @@ class UndirectedGraph:
         Nodes are assumed to have pairwise-distinct ``str()`` forms (true
         for register operands, this graph's only production node type).
         """
-        out: List[Tuple[Node, Node]] = []
-        for a in self.nodes():
-            for b in sorted(self._adj[a], key=str):
-                if str(a) < str(b):
-                    out.append((a, b))
-        return out
+        self._sync_caches()
+        if self._edges_cache is None:
+            out: List[Tuple[Node, Node]] = []
+            for a in self.nodes():
+                for b in self.neighbors(a):
+                    if str(a) < str(b):
+                        out.append((a, b))
+            self._edges_cache = out
+        return self._edges_cache
 
     def n_edges(self) -> int:
         return sum(len(s) for s in self._adj.values()) // 2
 
     def neighbors(self, node: Node) -> List[Node]:
-        return sorted(self._adj[node], key=str)
+        self._sync_caches()
+        cached = self._nbrs_cache.get(node)
+        if cached is None:
+            cached = sorted(self._adj[node], key=str)
+            self._nbrs_cache[node] = cached
+        return cached
 
     def neighbor_set(self, node: Node) -> Set[Node]:
         return self._adj[node]

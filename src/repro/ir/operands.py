@@ -21,22 +21,46 @@ MASK32 = 0xFFFFFFFF
 
 @dataclass(frozen=True, order=True)
 class VirtualReg:
-    """A named virtual register, e.g. ``%sum``."""
+    """A named virtual register, e.g. ``%sum``.
+
+    Registers key the allocator's hottest dicts and sort orders, so the
+    hash and string form are computed once at construction.  Both cache
+    the exact values the generated methods would produce -- hash-bucket
+    and ``str``-sort orders (and therefore every allocator decision)
+    are unchanged.
+    """
 
     name: str
 
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "_hash", hash((self.name,)))
+        object.__setattr__(self, "_str", f"%{self.name}")
+
+    def __hash__(self) -> int:
+        return self._hash
+
     def __str__(self) -> str:
-        return f"%{self.name}"
+        return self._str
 
 
 @dataclass(frozen=True, order=True)
 class PhysReg:
-    """A physical GPR by index, e.g. ``$r7``."""
+    """A physical GPR by index, e.g. ``$r7``.
+
+    Hash and string form are precomputed like :class:`VirtualReg`'s.
+    """
 
     index: int
 
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "_hash", hash((self.index,)))
+        object.__setattr__(self, "_str", f"$r{self.index}")
+
+    def __hash__(self) -> int:
+        return self._hash
+
     def __str__(self) -> str:
-        return f"$r{self.index}"
+        return self._str
 
 
 @dataclass(frozen=True, order=True)

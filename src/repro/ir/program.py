@@ -11,6 +11,7 @@ allocators and the simulator all take a ``Program``.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Set, Tuple
 
@@ -77,6 +78,37 @@ class Program:
             labels.get(instr.target.name) if instr.spec.is_branch else None
             for instr in self.instrs
         )
+
+    def fingerprint(self) -> str:
+        """Stable content hash of the program (a sha256 hex digest).
+
+        Two programs share a fingerprint exactly when their name, label
+        table, and full instruction stream (opcode plus every operand,
+        in order) coincide -- the same identity the binary encoding
+        (:mod:`repro.ir.encoding`) captures, extended to virtual-register
+        programs so pre-allocation artifacts can be content-addressed.
+        Any instruction, operand, or label mutation therefore changes the
+        digest, while parse -> print -> parse round trips preserve it.
+
+        Like :meth:`target_pcs`, the digest is recomputed on each call so
+        structural edits between calls can never serve a stale identity.
+        """
+        h = hashlib.sha256()
+        h.update(self.name.encode())
+        for label, index in sorted(self.labels.items()):
+            h.update(b"\x1eL")
+            h.update(label.encode())
+            h.update(b"\x1f")
+            h.update(str(index).encode())
+        for instr in self.instrs:
+            h.update(b"\x1eI")
+            h.update(instr.opcode.name.encode())
+            for op in instr.operands:
+                h.update(b"\x1f")
+                h.update(type(op).__name__.encode())
+                h.update(b"\x1f")
+                h.update(str(op).encode())
+        return h.hexdigest()
 
     def successors(self, index: int) -> Tuple[int, ...]:
         """Instruction-level control-flow successors of instruction ``index``.

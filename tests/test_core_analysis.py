@@ -76,3 +76,33 @@ def test_nsr_of_slot(straight):
     an = analyze_thread(straight)
     assert an.nsr_of_slot(1) == -1  # the ctx
     assert an.nsr_of_slot(2) >= 0
+
+
+def test_conflicts_by_slot_matches_linear_scan(straight):
+    an = analyze_thread(straight)
+    for reg, pairs in an.conflicts_at.items():
+        index = an.conflicts_by_slot(reg)
+        # Regrouping preserves content and per-slot order...
+        rebuilt = [p for s in sorted(index) for p in index[s]]
+        assert sorted(rebuilt) == sorted(pairs)
+        # ...and walking any slot subset replays the filtered subsequence.
+        slots = sorted({s for s, _ in pairs})[::2]
+        want = [p for p in pairs if p[0] in set(slots)]
+        got = [p for s in slots for p in index.get(s, ())]
+        assert sorted(got) == sorted(want)
+
+
+def test_conflict_pairs_cover_conflicts_at(straight):
+    an = analyze_thread(straight)
+    pairs = an.conflict_pairs()
+    # Each unordered pair appears exactly once, ordered by str().
+    for (a, b), slots in pairs.items():
+        assert str(a) < str(b)
+        assert list(slots) == sorted(slots)
+        for s in slots:
+            assert (s, b) in an.conflicts_at[a]
+            assert (s, a) in an.conflicts_at[b]
+    # And every conflicts_at entry is covered.
+    total = sum(len(v) for v in an.conflicts_at.values())
+    assert 2 * sum(len(v) for v in pairs.values()) == total
+    assert an.conflict_pairs() is pairs  # cached

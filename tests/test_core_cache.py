@@ -1,0 +1,194 @@
+"""Unit tests for the content-addressed analysis cache."""
+
+import pickle
+
+import pytest
+
+from repro.core.analysis import analyze_thread
+from repro.core.bounds import estimate_bounds
+from repro.core.cache import (
+    AnalysisCache,
+    CacheStats,
+    get_cache,
+    scoped,
+    set_cache_dir,
+)
+from repro.core.pipeline import allocate_programs
+from repro.ir.parser import parse_program
+from repro.obs import events, metrics
+from tests.conftest import FIG3_T1, FIG3_T2, MINI_KERNEL
+
+
+def prog(text=MINI_KERNEL, name="k"):
+    return parse_program(text, name)
+
+
+def test_miss_then_hit():
+    cache = AnalysisCache()
+    p = prog()
+    a1 = cache.analyze(p)
+    a2 = cache.analyze(prog())  # same text, fresh Program object
+    assert a1 is a2
+    assert cache.stats.misses == 1
+    assert cache.stats.hits == 1
+    assert len(cache) == 1
+    assert p in cache
+
+
+def test_results_match_uncached():
+    cache = AnalysisCache()
+    p = prog(FIG3_T1, "t1")
+    cached = cache.analyze(p)
+    fresh = analyze_thread(prog(FIG3_T1, "t1"))
+    assert cached.slots == fresh.slots
+    assert cached.conflicts_at == fresh.conflicts_at
+    assert cache.bounds(p) == estimate_bounds(fresh)
+
+
+def test_bounds_lazy_and_memoized():
+    cache = AnalysisCache()
+    p = prog()
+    cache.analyze(p)
+    b1 = cache.bounds(p)
+    b2 = cache.bounds(p)
+    assert b1 is b2
+    an, b3 = cache.analyze_with_bounds(p)
+    assert b3 is b1 and an is cache.analyze(p)
+
+
+def test_lru_eviction():
+    cache = AnalysisCache(capacity=2)
+    p1, p2, p3 = prog(MINI_KERNEL, "a"), prog(FIG3_T1, "b"), prog(FIG3_T2, "c")
+    cache.analyze(p1)
+    cache.analyze(p2)
+    cache.analyze(p1)  # p1 now most recent
+    cache.analyze(p3)  # evicts p2
+    assert p1 in cache and p3 in cache and p2 not in cache
+    assert cache.stats.evictions == 1
+
+
+def test_clear():
+    cache = AnalysisCache()
+    cache.analyze(prog())
+    cache.clear()
+    assert len(cache) == 0
+
+
+def test_bad_capacity_rejected():
+    with pytest.raises(ValueError):
+        AnalysisCache(capacity=0)
+
+
+def test_disk_layer_round_trip(tmp_path):
+    writer = AnalysisCache(cache_dir=tmp_path)
+    p = prog(FIG3_T1, "t1")
+    writer.analyze(p)
+    writer.bounds(p)
+    assert list(tmp_path.glob("*.pkl"))
+
+    reader = AnalysisCache(cache_dir=tmp_path)
+    b = reader.bounds(prog(FIG3_T1, "t1"))
+    assert reader.stats.disk_hits == 1
+    assert reader.stats.misses == 0
+    assert b == writer.bounds(p)
+
+
+def test_disk_corrupt_file_is_a_miss(tmp_path):
+    cache = AnalysisCache(cache_dir=tmp_path)
+    p = prog()
+    (tmp_path / f"{p.fingerprint()}.pkl").write_bytes(b"not a pickle")
+    cache.analyze(p)
+    assert cache.stats.disk_errors == 1
+    assert cache.stats.misses == 1
+
+
+def test_disk_foreign_payload_is_a_miss(tmp_path):
+    cache = AnalysisCache(cache_dir=tmp_path)
+    p = prog()
+    (tmp_path / f"{p.fingerprint()}.pkl").write_bytes(
+        pickle.dumps(("something", "else"))
+    )
+    cache.analyze(p)
+    assert cache.stats.disk_errors == 1
+
+
+def test_env_cache_dir(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    cache = AnalysisCache()
+    assert cache.cache_dir == tmp_path
+    monkeypatch.delenv("REPRO_CACHE_DIR")
+    assert AnalysisCache().cache_dir is None
+
+
+def test_set_cache_dir(tmp_path):
+    with scoped() as cache:
+        assert cache.cache_dir is None
+        set_cache_dir(tmp_path)
+        assert cache.cache_dir == tmp_path
+        set_cache_dir(None)
+        assert cache.cache_dir is None
+
+
+def test_telemetry_counters():
+    cache = AnalysisCache()
+    with metrics.scoped() as reg, events.capture() as em:
+        cache.analyze(prog())
+        cache.analyze(prog())
+    names = [e.name for e in em.events]
+    assert names == ["cache.miss", "cache.hit"]
+    snap = reg.snapshot()
+    assert snap["counters"]["cache.miss"] == 1
+    assert snap["counters"]["cache.hit"] == 1
+
+
+def test_warm_many_serial_and_dedup():
+    cache = AnalysisCache()
+    programs = [prog(MINI_KERNEL, "a"), prog(MINI_KERNEL, "a"),
+                prog(FIG3_T1, "b")]
+    pairs = cache.warm_many(programs)
+    assert len(pairs) == 3
+    assert pairs[0][0] is pairs[1][0]  # duplicates share the entry
+    assert cache.stats.misses == 2
+
+
+def test_warm_many_parallel_matches_serial():
+    serial = AnalysisCache()
+    parallel = AnalysisCache()
+    programs = [prog(MINI_KERNEL, "a"), prog(FIG3_T1, "b"),
+                prog(FIG3_T2, "c")]
+    want = serial.warm_many(programs)
+    got = parallel.warm_many(programs, jobs=2)
+    assert parallel.stats.misses == 3
+    for (an_w, b_w), (an_g, b_g) in zip(want, got):
+        assert an_w.slots == an_g.slots
+        assert an_w.conflicts_at == an_g.conflicts_at
+        assert b_w == b_g
+    # Subsequent lookups are pure hits.
+    parallel.analyze(prog(FIG3_T1, "b"))
+    assert parallel.stats.misses == 3
+
+
+def test_scoped_restores_global():
+    before = get_cache()
+    with scoped() as inner:
+        assert get_cache() is inner
+        assert get_cache() is not before
+    assert get_cache() is before
+
+
+def test_pipeline_cached_matches_fresh():
+    texts = [(MINI_KERNEL, "a"), (MINI_KERNEL, "b")]
+    with scoped():
+        first = allocate_programs(
+            [prog(t, n) for t, n in texts], nreg=64
+        )
+        hits_before = get_cache().stats.hits
+        second = allocate_programs(
+            [prog(t, n) for t, n in texts], nreg=64
+        )
+        assert get_cache().stats.hits > hits_before
+    assert [p.fingerprint() for p in first.programs] == [
+        p.fingerprint() for p in second.programs
+    ]
+    assert first.total_registers == second.total_registers
+    assert first.total_moves == second.total_moves

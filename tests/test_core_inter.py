@@ -92,3 +92,32 @@ def test_single_thread_degenerates_gracefully():
     result = allocate_threads(ans, nreg=16)
     assert result.fits()
     assert len(result.threads) == 1
+
+
+def test_step_cap_raises_instead_of_silent_stop():
+    ans = analyses((FIG3_T1, "t1"), (FIG3_T2, "t2"))
+    # nreg=5 needs at least one reduction step; a 0-step cap cannot
+    # satisfy it, and must fail loudly rather than return half-reduced.
+    with pytest.raises(AllocationError, match="step cap"):
+        allocate_threads(ans, nreg=5, _max_steps=0)
+
+
+def test_step_cap_emits_telemetry():
+    from repro.obs import events, metrics
+
+    ans = analyses((FIG3_T1, "t1"), (FIG3_T2, "t2"))
+    with metrics.scoped() as reg, events.capture() as em:
+        with pytest.raises(AllocationError):
+            allocate_threads(ans, nreg=5, _max_steps=0)
+    caps = [e for e in em.events if e.name == "inter.step_cap"]
+    assert len(caps) == 1
+    assert caps[0].fields["max_steps"] == 0
+    assert reg.snapshot()["counters"]["inter.step_cap"] == 1
+
+
+def test_default_step_cap_never_fires_on_suite():
+    # The default cap is sized from the bounds; normal allocation at any
+    # feasible budget must terminate by satisfaction or bound exhaustion.
+    ans = analyses((FIG3_T1, "t1"), (FIG3_T2, "t2"))
+    result = allocate_threads(ans, nreg=5)
+    assert result.fits()

@@ -1,0 +1,54 @@
+"""Differential tests: every harness yields identical results with
+``jobs>1`` as serially (the sweep executor must be invisible)."""
+
+from repro.core.cache import scoped
+from repro.harness.fig14 import run_fig14
+from repro.harness.table1 import run_table1
+from repro.harness.table2 import run_table2
+from repro.harness.table3 import run_table3
+
+LIGHT = ["frag", "drr"]
+
+
+def rows(result):
+    return [r.to_dict() for r in result]
+
+
+def test_table1_parallel_matches_serial():
+    with scoped():
+        serial = rows(run_table1(LIGHT, packets=2))
+    with scoped():
+        parallel = rows(run_table1(LIGHT, packets=2, jobs=2))
+    assert parallel == serial
+
+
+def test_table2_parallel_matches_serial():
+    with scoped():
+        serial = rows(run_table2(LIGHT))
+    with scoped():
+        parallel = rows(run_table2(LIGHT, jobs=2))
+    assert parallel == serial
+
+
+def test_fig14_parallel_matches_serial():
+    with scoped():
+        serial = rows(run_fig14(LIGHT, nthd=4, nreg=128))
+    with scoped():
+        parallel = rows(run_fig14(LIGHT, nthd=4, nreg=128, jobs=2))
+    assert parallel == serial
+
+
+def test_table3_parallel_matches_serial():
+    # Two scenarios so jobs=2 actually builds a pool (a single item
+    # short-circuits to the serial path).
+    scenarios = {
+        "frag x4": ("frag", "frag", "frag", "frag"),
+        "drr x4": ("drr", "drr", "drr", "drr"),
+    }
+    with scoped():
+        serial = rows(run_table3(scenarios, nreg=64, packets=2, verify=False))
+    with scoped():
+        parallel = rows(
+            run_table3(scenarios, nreg=64, packets=2, verify=False, jobs=2)
+        )
+    assert parallel == serial

@@ -1,0 +1,46 @@
+"""Unit tests for the parallel sweep executor."""
+
+import warnings
+
+from repro.harness.sweep import default_jobs, sweep_map
+from repro.obs import events
+
+
+def _square(x):
+    return x * x
+
+
+def test_serial_identity():
+    items = [3, 1, 2]
+    assert sweep_map(_square, items, jobs=1) == [9, 1, 4]
+
+
+def test_parallel_preserves_order():
+    items = list(range(8))
+    serial = sweep_map(_square, items, jobs=1)
+    parallel = sweep_map(_square, items, jobs=2)
+    assert parallel == serial == [x * x for x in items]
+
+
+def test_single_item_never_pools():
+    # One item runs inline even with jobs > 1 (an unpicklable closure
+    # would warn if a pool were attempted).
+    assert sweep_map(lambda x: x + 1, [41], jobs=4) == [42]
+
+
+def test_empty():
+    assert sweep_map(_square, [], jobs=4) == []
+
+
+def test_unpicklable_falls_back_serially():
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        with events.capture() as em:
+            out = sweep_map(lambda x: x * 10, [1, 2, 3], jobs=2)
+    assert out == [10, 20, 30]
+    assert any(issubclass(w.category, RuntimeWarning) for w in caught)
+    assert any(e.name == "sweep.fallback" for e in em.events)
+
+
+def test_default_jobs_positive():
+    assert default_jobs() >= 1

@@ -56,3 +56,42 @@ def test_subgraph():
     assert sub.has_edge("a", "b") and sub.has_edge("b", "c")
     assert "d" not in sub
     assert sub.n_edges() == 2
+
+
+def test_cached_views_track_mutation():
+    g = g_with(("a", "b"))
+    assert g.nodes() == ["a", "b"]
+    assert g.edges() == [("a", "b")]
+    g.add_edge("a", "c")
+    assert g.nodes() == ["a", "b", "c"]
+    assert g.edges() == [("a", "b"), ("a", "c")]
+    g.remove_edge("a", "b")
+    assert g.edges() == [("a", "c")]
+    g.remove_node("c")
+    assert g.nodes() == ["a", "b"]
+    assert g.edges() == []
+
+
+def test_cached_views_survive_noop_mutations():
+    g = g_with(("a", "b"))
+    nodes_before = g.nodes()
+    g.add_node("a")           # already present
+    g.remove_node("zzz")      # absent
+    g.remove_edge("a", "zzz")  # absent
+    assert g.nodes() is nodes_before  # cache not invalidated needlessly
+
+
+def test_neighbors_sorted_and_fresh():
+    g = g_with(("b", "a"), ("b", "c"))
+    assert g.neighbors("b") == ["a", "c"]
+    g.add_edge("b", "d")
+    assert g.neighbors("b") == ["a", "c", "d"]
+
+
+def test_copy_does_not_share_caches():
+    g = g_with(("a", "b"))
+    g.nodes()
+    h = g.copy()
+    h.add_edge("a", "c")
+    assert g.nodes() == ["a", "b"]
+    assert h.nodes() == ["a", "b", "c"]
