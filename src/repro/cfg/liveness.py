@@ -22,12 +22,22 @@ defined by it: ``live_out(csb) - defs(csb)``.  A ``load`` destination is
 *not* live across its own CSB -- on the IXP the data lands in a transfer
 register and only reaches the GPR when the thread resumes (footnote 3 of
 the paper).
+
+Two implementations compute the same facts: the reference set-based
+worklist below, and the bitset kernel in :mod:`repro.core.dense`
+(``live_in``/``live_out`` as big-int masks, frozensets materialized only
+at this API boundary).  :func:`compute_liveness` is the single switch
+point -- it consults the process-wide implementation registry
+(``REPRO_ANALYSIS`` / ``--analysis-impl``) and the dense variant attaches
+its mask payload as ``Liveness._dense``, which downstream passes key off
+so one analysis never mixes implementations.  Results are bit-identical
+either way.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, FrozenSet, List, Sequence, Set, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 from repro.ir.operands import Reg
 from repro.ir.program import Program
@@ -42,18 +52,33 @@ class Liveness:
             this object is in use).
         live_in: per-instruction set of registers live just before it.
         live_out: per-instruction set of registers live just after it.
+        def_sets: per-instruction def sets, precomputed once so the hot
+            ``live_across_csb`` query never rebuilds a frozenset.
     """
 
     program: Program
     live_in: List[FrozenSet[Reg]]
     live_out: List[FrozenSet[Reg]]
+    def_sets: Optional[List[FrozenSet[Reg]]] = field(
+        default=None, repr=False, compare=False
+    )
+    #: Bitmask payload attached by the dense kernels
+    #: (:class:`repro.core.dense.DenseLiveness`); downstream passes key
+    #: off its presence.  Never compared or printed.
+    _dense: Optional[object] = field(default=None, repr=False, compare=False)
 
     def live_across_csb(self, index: int) -> FrozenSet[Reg]:
         """Registers live across the CSB instruction at ``index``."""
         instr = self.program.instrs[index]
         if not instr.is_csb:
             raise ValueError(f"instruction {index} ({instr.opcode}) is not a CSB")
-        return self.live_out[index] - frozenset(instr.defs)
+        # getattr: objects unpickled from pre-def_sets disk caches lack
+        # the attribute entirely.
+        def_sets = getattr(self, "def_sets", None)
+        if def_sets is None:
+            def_sets = [frozenset(ins.defs) for ins in self.program.instrs]
+            self.def_sets = def_sets
+        return self.live_out[index] - def_sets[index]
 
     def entry_live(self) -> FrozenSet[Reg]:
         """Registers live at program entry (expected values from outside)."""
@@ -93,7 +118,19 @@ class Liveness:
 
 
 def compute_liveness(program: Program) -> Liveness:
-    """Run the backward worklist analysis over ``program``."""
+    """Run the backward worklist analysis over ``program``.
+
+    This is the implementation switch point: when the process default
+    (see :mod:`repro.core.dense`) is ``dense``, the bitset fixpoint runs
+    instead of the reference set-based worklist below.  Both produce
+    bit-identical :class:`Liveness` facts.
+    """
+    from repro.core.dense import analysis_is_dense
+
+    if analysis_is_dense():
+        from repro.core.dense import compute_liveness_dense
+
+        return compute_liveness_dense(program)
     n = len(program.instrs)
     defs: List[FrozenSet[Reg]] = []
     uses: List[FrozenSet[Reg]] = []
@@ -124,7 +161,9 @@ def compute_liveness(program: Program) -> Liveness:
                 if not in_list[p]:
                     in_list[p] = True
                     worklist.append(p)
-    return Liveness(program=program, live_in=live_in, live_out=live_out)
+    return Liveness(
+        program=program, live_in=live_in, live_out=live_out, def_sets=defs
+    )
 
 
 def occupied_slots(liveness: Liveness, reg: Reg) -> FrozenSet[int]:
@@ -135,6 +174,9 @@ def occupied_slots(liveness: Liveness, reg: Reg) -> FrozenSet[int]:
     live range is a subset of its slots, and a move is required on every
     control-flow edge between slots assigned to different pieces.
     """
+    dense = getattr(liveness, "_dense", None)
+    if dense is not None:
+        return dense.occupied_frozen(reg)
     out: Set[int] = set()
     for i in range(len(liveness.program.instrs)):
         if reg in liveness.live_in[i] or reg in liveness.program.instrs[i].defs:

@@ -19,9 +19,10 @@ Commands:
 ``encode FILE [-o OUT]``
     Assemble an allocated (physical-register) program to 64-bit machine
     words (hex, one per line).
-``bench {table1,table2,table3,fig14,perf,alloc} [--engine E]``
+``bench {table1,table2,table3,fig14,perf,alloc,analysis} [--engine E]``
     Regenerate one of the paper's tables/figures, or the engine
-    (``perf``) / allocation-pipeline (``alloc``) throughput comparisons.
+    (``perf``) / allocation-pipeline (``alloc``) / cold-analysis
+    (``analysis``) throughput comparisons.
 
 ``run``, ``profile``, and ``bench`` accept ``--engine
 {auto,fast,reference}`` to pick the execution engine
@@ -33,6 +34,12 @@ analysis workers) and ``--cache-dir DIR`` (persist the analysis cache
 on disk, also settable via ``REPRO_CACHE_DIR``); both default to the
 serial, in-memory behavior.  See "Allocator performance" in
 ``docs/PERFORMANCE.md``.
+``analyze``, ``allocate``, ``profile``, and ``bench`` accept
+``--analysis-impl {dense,reference}`` to pick the analysis kernel
+implementation ("Cold-path analysis kernel" in
+``docs/PERFORMANCE.md``); results are bit-identical either way, so the
+flag exists for benchmarking and differential testing.  The default is
+``dense``, or ``$REPRO_ANALYSIS`` when set.
 ``suite``
     List the built-in benchmark kernels with basic properties.
 
@@ -117,6 +124,7 @@ def _telemetry(args: argparse.Namespace) -> Iterator[None]:
 
 
 def cmd_analyze(args: argparse.Namespace) -> int:
+    _apply_analysis_impl(args)
     for spec in args.files:
         program = _load_program(spec)
         with obs.span("analyze", program=program.name):
@@ -150,6 +158,7 @@ def cmd_analyze(args: argparse.Namespace) -> int:
 
 
 def cmd_allocate(args: argparse.Namespace) -> int:
+    _apply_analysis_impl(args)
     programs = _load_all(args.files)
     outcome = allocate_programs(programs, nreg=args.nreg)
     print(outcome.summary())
@@ -214,6 +223,7 @@ def cmd_profile(args: argparse.Namespace) -> int:
     from repro.obs.profile import profile_programs, render_report
 
     _apply_cache_dir(args)
+    _apply_analysis_impl(args)
     programs = _load_all(args.files)
     try:
         report = profile_programs(
@@ -280,6 +290,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
     # need a reference-only feature (e.g. the paranoid checker) fall
     # back per-run with a warning instead of aborting the sweep.
     _apply_cache_dir(args)
+    _apply_analysis_impl(args)
     previous = set_default_engine(args.engine)
     try:
         if args.experiment == "table1":
@@ -302,6 +313,13 @@ def cmd_bench(args: argparse.Namespace) -> int:
             from repro.harness.allocperf import render_alloc, run_alloc_bench
 
             print(render_alloc(run_alloc_bench(jobs=args.jobs or None)))
+        elif args.experiment == "analysis":
+            from repro.harness.analysisperf import (
+                render_analysis,
+                run_analysis_bench,
+            )
+
+            print(render_analysis(run_analysis_bench()))
         else:
             from repro.harness.fig14 import render_fig14, run_fig14
 
@@ -343,6 +361,31 @@ def _add_perf_flags(p: argparse.ArgumentParser) -> None:
         dest="cache_dir",
         help="persist the analysis cache in DIR across runs "
         "(default: in-memory only, or $REPRO_CACHE_DIR when set)",
+    )
+
+
+def _apply_analysis_impl(args: argparse.Namespace) -> None:
+    """Set the process-default analysis implementation from the flag.
+
+    A CLI process runs one command and exits, so (like ``--cache-dir``)
+    the default is not restored afterwards; the benchmark harnesses that
+    flip implementations internally save and restore it themselves.
+    """
+    impl = getattr(args, "analysis_impl", None)
+    if impl:
+        from repro.core.dense import set_default_analysis_impl
+
+        set_default_analysis_impl(impl)
+
+
+def _add_analysis_flag(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--analysis-impl",
+        choices=["dense", "reference"],
+        dest="analysis_impl",
+        help="analysis kernel implementation: 'dense' is the bitset "
+        "fast path, 'reference' the set-based construction; results "
+        "are bit-identical (default: dense, or $REPRO_ANALYSIS)",
     )
 
 
@@ -390,6 +433,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--nsr", action="store_true", help="print the NSR-annotated listing"
     )
+    _add_analysis_flag(p)
     _add_obs_flags(p)
     p.set_defaults(func=cmd_analyze)
 
@@ -397,6 +441,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("files", nargs="+")
     p.add_argument("--nreg", type=int, default=128)
     p.add_argument("-o", "--output", help="directory for rewritten assembly")
+    _add_analysis_flag(p)
     _add_obs_flags(p)
     p.set_defaults(func=cmd_allocate)
 
@@ -426,6 +471,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--json", metavar="OUT.json", help="write the report as JSON")
     _add_engine_flag(p)
+    _add_analysis_flag(p)
     _add_perf_flags(p)
     p.set_defaults(func=cmd_profile)
 
@@ -445,9 +491,18 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("bench", help="regenerate a paper table/figure")
     p.add_argument(
         "experiment",
-        choices=["table1", "table2", "table3", "fig14", "perf", "alloc"],
+        choices=[
+            "table1",
+            "table2",
+            "table3",
+            "fig14",
+            "perf",
+            "alloc",
+            "analysis",
+        ],
     )
     _add_engine_flag(p)
+    _add_analysis_flag(p)
     _add_obs_flags(p)
     _add_perf_flags(p)
     p.set_defaults(func=cmd_bench)

@@ -31,6 +31,33 @@ from repro.ir.operands import Reg
 from repro.ir.program import Program
 
 
+def true_conflict(
+    a: Reg, b: Reg, defs: FrozenSet[Reg], dying: FrozenSet[Reg]
+) -> bool:
+    """Do co-occupants ``a`` and ``b`` of one slot truly conflict?
+
+    The single definition of the def-vs-dying-use exception, shared by
+    :meth:`ThreadAnalysis.interferes_at`, the reference ``conflicts_at``
+    builder below, and (as mask formulas checked against this predicate
+    by the tests) the bitset kernel in :mod:`repro.core.dense` -- so the
+    implementations cannot drift.
+
+    ``defs``/``dying`` are the slot's def and dying-use sets.  The only
+    co-occupancy that is not a conflict is a def against a range dying at
+    the same instruction (read-before-write); simultaneous writes always
+    conflict.
+    """
+    if a == b:
+        return False
+    if a in defs and b in defs:
+        return True
+    if a in defs and b in dying:
+        return False
+    if b in defs and a in dying:
+        return False
+    return True
+
+
 @dataclass
 class ThreadAnalysis:
     """All static facts about one thread's program.
@@ -75,6 +102,11 @@ class ThreadAnalysis:
     _conflict_pair_index: Dict[
         Tuple["Reg", "Reg"], Tuple[int, ...]
     ] = field(default=None, repr=False, compare=False)  # type: ignore[assignment]
+    #: Bitmask companion built by the dense kernels
+    #: (:class:`repro.core.dense.DenseAnalysisIndex`); ``None`` for
+    #: reference-built analyses.  Never compared or printed -- the
+    #: comparable fields above are bit-identical across implementations.
+    dense: object = field(default=None, repr=False, compare=False)
 
     @property
     def all_regs(self) -> List[Reg]:
@@ -113,34 +145,38 @@ class ThreadAnalysis:
         """
         index = self._conflict_pair_index
         if index is None:
-            grouped: Dict[Tuple["Reg", "Reg"], List[int]] = {}
-            for a, pairs in self.conflicts_at.items():
-                sa = str(a)
-                for s, b in pairs:
-                    if sa < str(b):
-                        grouped.setdefault((a, b), []).append(s)
-            index = {k: tuple(v) for k, v in grouped.items()}
+            dense = getattr(self, "dense", None)
+            if dense is not None:
+                # Re-derived from the liveness masks in index space, so
+                # no per-pair str() or register hashing.
+                regs = dense.dmap.regs
+                index = {
+                    (regs[ai], regs[bi]): tuple(slots)
+                    for (ai, bi), slots in dense.conflict_pair_slots().items()
+                }
+            else:
+                grouped: Dict[Tuple["Reg", "Reg"], List[int]] = {}
+                for a, pairs in self.conflicts_at.items():
+                    sa = str(a)
+                    for s, b in pairs:
+                        if sa < str(b):
+                            grouped.setdefault((a, b), []).append(s)
+                index = {k: tuple(v) for k, v in grouped.items()}
             self._conflict_pair_index = index
         return index
 
     def interferes_at(self, a: Reg, b: Reg, slot: int) -> bool:
         """Do ranges ``a`` and ``b`` truly conflict at ``slot``?
 
-        Both are assumed to occupy ``slot``.  The only co-occupancy that is
-        not a conflict is a def against a range dying at the same
-        instruction (read-before-write).
+        Both are assumed to occupy ``slot``.  See :func:`true_conflict`
+        for the def-vs-dying-use exception rule.
         """
-        if a == b:
-            return False
-        defs = self.defs_at.get(slot, frozenset())
-        if a in defs and b in defs:
-            return True  # simultaneous writes need distinct registers
-        dying = self.dying_at.get(slot, frozenset())
-        if a in defs and b in dying:
-            return False
-        if b in defs and a in dying:
-            return False
-        return True
+        return true_conflict(
+            a,
+            b,
+            self.defs_at.get(slot, frozenset()),
+            self.dying_at.get(slot, frozenset()),
+        )
 
     def nsr_of_slot(self, slot: int) -> int:
         """NSR id of a non-CSB slot; -1 for CSB slots."""
@@ -155,11 +191,22 @@ def analyze_thread(program: Program) -> ThreadAnalysis:
     live range is one variable, the representation the paper assumes; all
     downstream artifacts (contexts, rewritten code) refer to the renamed
     program available as ``analysis.program``.
+
+    Implementation dispatch happens inside :func:`compute_liveness`
+    (``REPRO_ANALYSIS`` / ``--analysis-impl``): a dense-built liveness
+    carries a bitmask payload, and this function then finishes the
+    bundle with the bitset kernels of :mod:`repro.core.dense`; otherwise
+    the reference set-based construction below runs.  Both produce
+    bit-identical analyses, iteration orders included.
     """
     program = rename_webs(program)
     liveness = compute_liveness(program)
     nsr = compute_nsr(liveness)
     graphs = build_interference(liveness, nsr)
+    if getattr(liveness, "_dense", None) is not None:
+        from repro.core.dense import finish_analysis_dense
+
+        return finish_analysis_dense(program, liveness, nsr, graphs)
     n = len(program.instrs)
 
     slots: Dict[Reg, Set[int]] = {}
@@ -204,20 +251,15 @@ def analyze_thread(program: Program) -> ThreadAnalysis:
             if reg not in liveness.live_out[i]:
                 dying_at.setdefault(i, set()).add(reg)
 
+    empty: FrozenSet[Reg] = frozenset()
     conflicts_at: Dict[Reg, List[Tuple[int, Reg]]] = {r: [] for r in slots}
     for s, occ in occupants.items():
-        defs = defs_at.get(s, frozenset())
-        dying = dying_at.get(s, set())
+        defs = defs_at.get(s, empty)
+        dying = dying_at.get(s, empty)
         for a in occ:
             for b in occ:
-                if a is b or a == b:
-                    continue
-                if not (a in defs and b in defs):
-                    if a in defs and b in dying:
-                        continue
-                    if b in defs and a in dying:
-                        continue
-                conflicts_at[a].append((s, b))
+                if true_conflict(a, b, defs, dying):
+                    conflicts_at[a].append((s, b))
 
     return ThreadAnalysis(
         program=program,

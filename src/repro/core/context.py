@@ -26,8 +26,15 @@ from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
 from repro.core.analysis import ThreadAnalysis
+from repro.core.dense import mask_of_slots
 from repro.errors import AllocationError
 from repro.ir.operands import Reg
+
+#: A :meth:`AllocContext.conflict_profile` entry: the conflicting pieces
+#: (in first-conflict order) and the bitmask of slots where the conflicts
+#: occur.  A mutable 2-list rather than a tuple so both builders can
+#: accumulate in place.
+ProfileEntry = List  # [List[Piece], int]
 
 
 @dataclass
@@ -166,17 +173,22 @@ class AllocContext:
     # ------------------------------------------------------------------
     # Interference and conflicts.
     # ------------------------------------------------------------------
-    def conflict_profile(
-        self, piece: Piece
-    ) -> Dict[int, Tuple[List[Piece], Set[int]]]:
+    def conflict_profile(self, piece: Piece) -> Dict[int, ProfileEntry]:
         """One sweep over the piece's slots: for every color used by a
         truly-conflicting piece, the conflicting pieces and the slots where
         the conflicts occur.
 
-        ``profile[c] = (pieces, slots)`` means coloring ``piece`` with
-        ``c`` clashes with ``pieces`` at ``slots``.
+        ``profile[c] = [pieces, slot_mask]`` means coloring ``piece`` with
+        ``c`` clashes with ``pieces`` at the slots of ``slot_mask``.
+
+        A dense-built analysis answers from the precomputed per-range
+        conflict masks; the reference sweep below walks the conflict pairs
+        directly.  Both produce the same entries, piece order included.
         """
-        by_color: Dict[int, Tuple[List[Piece], Set[int]]] = {}
+        dense = getattr(self.analysis, "dense", None)
+        if dense is not None:
+            return self._conflict_profile_dense(piece, dense)
+        by_color: Dict[int, ProfileEntry] = {}
         seen_pids: Set[int] = set()
         pieces = self.pieces
         assign = self._assign
@@ -198,12 +210,75 @@ class AllocContext:
             other = pieces[assign[other_reg][s]]
             entry = by_color.get(other.color)
             if entry is None:
-                entry = ([], set())
+                entry = [[], 0]
                 by_color[other.color] = entry
             if other.pid not in seen_pids:
                 seen_pids.add(other.pid)
                 entry[0].append(other)
-            entry[1].add(s)
+            entry[1] |= 1 << s
+        return by_color
+
+    def _conflict_profile_dense(
+        self, piece: Piece, dense: object
+    ) -> Dict[int, ProfileEntry]:
+        """Mask-backed :meth:`conflict_profile`.
+
+        The per-other-range conflict masks are precomputed once per range
+        (:meth:`repro.core.dense.DenseAnalysisIndex.conflict_masks`); a
+        probe intersects them with the piece's slot mask and groups the
+        surviving bits by occupying piece.  Entries are emitted in the
+        reference order -- ascending (first conflicting slot, other-range
+        rank), which is exactly the first-occurrence order of the sorted
+        conflict-pair walk above.
+        """
+        an = self.analysis
+        reg = piece.reg
+        pairs = an.conflicts_at.get(reg, ())
+        if not pairs:
+            return {}
+        masks = dense.conflict_masks(reg, pairs)  # type: ignore[attr-defined]
+        whole = len(piece.slots) == len(an.slots[reg])
+        pmask = None if whole else mask_of_slots(piece.slots)
+        rank = dense.dmap.index  # type: ignore[attr-defined]
+        pieces = self.pieces
+        assign = self._assign
+        counts = self._piece_count
+        entries: List[Tuple[int, int, int, Piece]] = []
+        for other_reg, m in masks.items():
+            if pmask is not None:
+                m &= pmask
+                if not m:
+                    continue
+            oidx = rank[other_reg]
+            om = assign[other_reg]
+            if counts.get(other_reg, 0) <= 1:
+                low = m & -m
+                entries.append(
+                    (low.bit_length() - 1, oidx, m, pieces[om[low.bit_length() - 1]])
+                )
+            else:
+                # Split other range: group its conflict slots by piece.
+                groups: Dict[int, List[int]] = {}
+                while m:
+                    low = m & -m
+                    m ^= low
+                    pid = om[low.bit_length() - 1]
+                    g = groups.get(pid)
+                    if g is None:
+                        groups[pid] = [low.bit_length() - 1, low]
+                    else:
+                        g[1] |= low
+                for pid, (first, gm) in groups.items():
+                    entries.append((first, oidx, gm, pieces[pid]))
+        entries.sort(key=lambda e: (e[0], e[1]))
+        by_color: Dict[int, ProfileEntry] = {}
+        for _, _, gm, other in entries:
+            entry = by_color.get(other.color)
+            if entry is None:
+                entry = [[], 0]
+                by_color[other.color] = entry
+            entry[0].append(other)
+            entry[1] |= gm
         return by_color
 
     def conflicts_with_color(
@@ -228,6 +303,46 @@ class AllocContext:
                     seen.add(other.pid)
                     out.append((other, s))
         return out
+
+    def conflicts_any(self, piece: Piece, color: int) -> bool:
+        """Would coloring ``piece`` with ``color`` clash with anything?
+
+        Boolean-only form of :meth:`conflicts_with_color` for the
+        allocator's yes/no probes: the dense path scans the precomputed
+        conflict masks and stops at the first clashing piece instead of
+        collecting witnesses.
+        """
+        dense = getattr(self.analysis, "dense", None)
+        if dense is None:
+            return bool(self.conflicts_with_color(piece, color))
+        an = self.analysis
+        reg = piece.reg
+        pairs = an.conflicts_at.get(reg, ())
+        if not pairs:
+            return False
+        masks = dense.conflict_masks(reg, pairs)  # type: ignore[attr-defined]
+        whole = len(piece.slots) == len(an.slots[reg])
+        pmask = None if whole else mask_of_slots(piece.slots)
+        pieces = self.pieces
+        assign = self._assign
+        counts = self._piece_count
+        for other_reg, m in masks.items():
+            if pmask is not None:
+                m &= pmask
+                if not m:
+                    continue
+            om = assign[other_reg]
+            if counts.get(other_reg, 0) <= 1:
+                low = m & -m
+                if pieces[om[low.bit_length() - 1]].color == color:
+                    return True
+            else:
+                while m:
+                    low = m & -m
+                    m ^= low
+                    if pieces[om[low.bit_length() - 1]].color == color:
+                        return True
+        return False
 
     def colors_in_conflict(self, piece: Piece) -> Set[int]:
         """All colors used by pieces truly conflicting with ``piece``."""

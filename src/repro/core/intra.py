@@ -41,8 +41,9 @@ from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 from repro.core.analysis import ThreadAnalysis
 from repro.core.bounds import Bounds, estimate_bounds
-from repro.core.context import AllocContext, Piece, initial_context
+from repro.core.context import AllocContext, Piece, ProfileEntry, initial_context
 from repro.errors import AllocationError
+from repro.igraph.graph import bit_indices, popcount
 from repro.ir.operands import Reg
 from repro.obs import events as obs
 from repro.obs import metrics as obs_metrics
@@ -377,7 +378,7 @@ class IntraAllocator:
                 return False
             moved.append((blocker, blocker.color))
             blocker.color = choice
-        if ctx.conflicts_with_color(piece, col):
+        if ctx.conflicts_any(piece, col):
             for b, old in reversed(moved):
                 b.color = old
             return False
@@ -389,7 +390,7 @@ class IntraAllocator:
         ctx: AllocContext,
         piece: Piece,
         candidates: Sequence[int],
-        profile: Dict[int, Tuple[List[Piece], Set[int]]],
+        profile: Dict[int, ProfileEntry],
         banned: int,
     ) -> Optional[List[int]]:
         """NSR exclusion (paper Figure 12).
@@ -405,31 +406,35 @@ class IntraAllocator:
         if -1 in protected:
             protected.discard(-1)
             protected.add(0)
+        protected_mask = 0
+        for s in protected:
+            protected_mask |= 1 << s
         best: Optional[Tuple[int, int, FrozenSet[int]]] = None
         for col in candidates:
-            if col not in profile:
+            entry = profile.get(col)
+            if entry is None:
                 continue  # handled by plain recoloring already
-            conflict_slots = frozenset(profile[col][1])
-            if conflict_slots & protected:
+            conflict_mask = entry[1]
+            if conflict_mask & protected_mask:
                 continue
-            bad_regions = {
-                an.nsr_of_slot(s)
-                for s in conflict_slots
-                if an.nsr_of_slot(s) >= 0
-            }
-            if any(an.nsr_of_slot(s) < 0 for s in conflict_slots):
-                # Conflict on a CSB slot the piece merely passes through
-                # (not live across it -- impossible) or occupies as a def/
-                # use point; shed that slot individually.
-                bad_slots = {
-                    s for s in conflict_slots if an.nsr_of_slot(s) < 0
-                }
-            else:
-                bad_slots = set()
+            bad_regions: Set[int] = set()
+            # Conflicts on CSB slots the piece merely occupies as a def/
+            # use point (not live across it -- those are protected) are
+            # shed individually rather than by region.
+            bad_slot_mask = 0
+            m = conflict_mask
+            while m:
+                low = m & -m
+                m ^= low
+                rid = an.nsr_of_slot(low.bit_length() - 1)
+                if rid >= 0:
+                    bad_regions.add(rid)
+                else:
+                    bad_slot_mask |= low
             part = frozenset(
                 s
                 for s in piece.slots
-                if (an.nsr_of_slot(s) in bad_regions or s in bad_slots)
+                if (an.nsr_of_slot(s) in bad_regions or (bad_slot_mask >> s) & 1)
                 and s not in protected
             )
             if not part or not part < piece.slots:
@@ -441,7 +446,7 @@ class IntraAllocator:
         col, _, part = best
         fragment = ctx.split_piece(piece, part, piece.color)
         piece.color = col
-        if ctx.conflicts_with_color(piece, col):
+        if ctx.conflicts_any(piece, col):
             # The exclusion removed every conflicting slot, so this cannot
             # fire; assert loudly if the model is ever wrong.
             raise AllocationError(
@@ -458,7 +463,7 @@ class IntraAllocator:
         ctx: AllocContext,
         piece: Piece,
         candidates: Sequence[int],
-        profile: Dict[int, Tuple[List[Piece], Set[int]]],
+        profile: Dict[int, ProfileEntry],
         banned: int,
     ) -> Optional[List[int]]:
         """In-NSR live-range splitting (paper Figure 13).
@@ -468,21 +473,28 @@ class IntraAllocator:
         is requeued, so repeated splitting terminates at single slots,
         where the pressure bound guarantees a free color.
         """
-        best: Optional[Tuple[int, int, FrozenSet[int]]] = None
+        piece_mask = 0
+        for s in piece.slots:
+            piece_mask |= 1 << s
+        best: Optional[Tuple[int, int, int]] = None
         for col in candidates:
-            if col not in profile:
+            entry = profile.get(col)
+            if entry is None:
                 continue
-            conflict_slots = frozenset(profile[col][1])
-            if not conflict_slots < piece.slots:
+            cmask = entry[1]
+            # The shed set must be a proper subset of the piece's slots.
+            if cmask & ~piece_mask or cmask == piece_mask:
                 continue
-            if best is None or len(conflict_slots) < best[1]:
-                best = (col, len(conflict_slots), conflict_slots)
+            k = popcount(cmask)
+            if best is None or k < best[1]:
+                best = (col, k, cmask)
         if best is None:
             return self._shatter(ctx, piece, protected=set())
-        col, _, part = best
+        col, _, cmask = best
+        part = frozenset(bit_indices(cmask))
         fragment = ctx.split_piece(piece, part, piece.color)
         piece.color = col
-        if ctx.conflicts_with_color(piece, col):
+        if ctx.conflicts_any(piece, col):
             raise AllocationError(
                 f"internal split left conflicts on {piece.reg}"
             )

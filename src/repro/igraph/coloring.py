@@ -10,15 +10,27 @@ since Chaitin) uses heuristics.  We provide:
 * :func:`min_color` -- run both and keep whichever used fewer colors.
 
 All orders break ties on ``str(node)``, so results are deterministic.
+
+DSATUR and simplify-select each have a bitmask twin walking the graph's
+:meth:`~repro.igraph.graph.UndirectedGraph.dense_view` (saturation and
+used-color sets as int masks, tie-breaks on the dense index, which is
+assigned in ``str`` order).  They are used when the dense analysis
+kernels are the process default (:mod:`repro.core.dense`) and produce
+identical colorings, insertion order included.
 """
 
 from __future__ import annotations
 
 from typing import Dict, Hashable, Iterable, List, Optional
 
-from repro.igraph.graph import Node, UndirectedGraph
+from repro.igraph.graph import Node, UndirectedGraph, popcount
 
 Coloring = Dict[Node, int]
+
+
+def _lowest_clear_bit(mask: int) -> int:
+    """Index of the lowest zero bit: ``first_free_color`` on a mask."""
+    return (~mask & (mask + 1)).bit_length() - 1
 
 
 def first_free_color(used: Iterable[int]) -> int:
@@ -58,6 +70,10 @@ def greedy_color(
 def dsatur_color(graph: UndirectedGraph) -> Coloring:
     """Brelaz's DSATUR: always color the node whose neighbors currently use
     the most distinct colors (saturation), breaking ties by degree."""
+    from repro.core.dense import analysis_is_dense
+
+    if analysis_is_dense():
+        return _dsatur_dense(graph)
     coloring: Coloring = {}
     uncolored = set(graph.nodes())
     sat: Dict[Node, set] = {n: set() for n in uncolored}
@@ -75,12 +91,50 @@ def dsatur_color(graph: UndirectedGraph) -> Coloring:
     return coloring
 
 
+def _dsatur_dense(graph: UndirectedGraph) -> Coloring:
+    """DSATUR over the dense adjacency view.
+
+    Saturation sets are color masks; the selection maximum is taken over
+    ``(popcount(sat), degree, index)``, which equals the reference key
+    ``(len(sat), degree, str(node))`` because dense indices are assigned
+    in ``str`` order and node strings are pairwise distinct.
+    """
+    view = graph.dense_view()
+    nodes = view.nodes
+    masks = view.masks
+    k = len(nodes)
+    deg = [popcount(m) for m in masks]
+    sat = [0] * k
+    sat_cnt = [0] * k
+    uncolored = set(range(k))
+    coloring: Coloring = {}
+    while uncolored:
+        i = max(uncolored, key=lambda x: (sat_cnt[x], deg[x], x))
+        color = _lowest_clear_bit(sat[i])
+        coloring[nodes[i]] = color
+        uncolored.discard(i)
+        bit = 1 << color
+        m = masks[i]
+        while m:
+            low = m & -m
+            m ^= low
+            nbr = low.bit_length() - 1
+            if nbr in uncolored and not (sat[nbr] & bit):
+                sat[nbr] |= bit
+                sat_cnt[nbr] += 1
+    return coloring
+
+
 def simplify_color(graph: UndirectedGraph) -> Coloring:
     """Chaitin-style simplify-select.
 
     Repeatedly remove a minimum-degree node onto a stack, then color in
     reverse removal order with the smallest available color.
     """
+    from repro.core.dense import analysis_is_dense
+
+    if analysis_is_dense():
+        return _simplify_dense(graph)
     work = graph.copy()
     stack: List[Node] = []
     remaining = set(work.nodes())
@@ -97,6 +151,48 @@ def simplify_color(graph: UndirectedGraph) -> Coloring:
             if nbr in coloring
         }
         coloring[node] = first_free_color(used)
+    return coloring
+
+
+def _simplify_dense(graph: UndirectedGraph) -> Coloring:
+    """Simplify-select over the dense adjacency view.
+
+    Degrees decrement in place instead of mutating a graph copy; the
+    removal minimum ``(degree, index)`` equals the reference key
+    ``(degree, str(node))`` by the dense-index order invariant.
+    """
+    view = graph.dense_view()
+    nodes = view.nodes
+    masks = view.masks
+    k = len(nodes)
+    deg = [popcount(m) for m in masks]
+    remaining = set(range(k))
+    removed_mask = 0
+    stack: List[int] = []
+    while remaining:
+        i = min(remaining, key=lambda x: (deg[x], x))
+        stack.append(i)
+        remaining.discard(i)
+        removed_mask |= 1 << i
+        m = masks[i] & ~removed_mask
+        while m:
+            low = m & -m
+            m ^= low
+            deg[low.bit_length() - 1] -= 1
+    colarr = [0] * k
+    colored_mask = 0
+    coloring: Coloring = {}
+    for i in reversed(stack):
+        used = 0
+        m = masks[i] & colored_mask
+        while m:
+            low = m & -m
+            m ^= low
+            used |= 1 << colarr[low.bit_length() - 1]
+        color = _lowest_clear_bit(used)
+        colarr[i] = color
+        colored_mask |= 1 << i
+        coloring[nodes[i]] = color
     return coloring
 
 

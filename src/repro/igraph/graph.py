@@ -11,13 +11,60 @@ unchanged adjacency set on every call dominated its profile.  Mutators
 bump the version only when they actually change the graph (re-adding an
 existing node or edge is free), and every cached list is returned as-is
 -- callers must not mutate the returned lists, which no caller does.
+
+:meth:`dense_view` exposes the same adjacency as a
+:class:`DenseAdjacency`: nodes renumbered to contiguous ints (in the
+sorted-node order, so bit order matches ``str`` order) with one big-int
+neighbor bitmask per node.  The dense analysis kernels
+(:mod:`repro.core.dense`) build interference graphs directly from such
+masks via :func:`graph_from_dense` and the coloring heuristics walk the
+view instead of per-node Python sets.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Set, Tuple
+from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
 Node = Hashable
+
+try:  # int.bit_count is Python 3.10+; CI still runs 3.9.
+    popcount = int.bit_count  # type: ignore[attr-defined]
+except AttributeError:  # pragma: no cover - exercised on 3.9 only
+
+    def popcount(mask: int) -> int:
+        """Number of set bits in ``mask`` (non-negative)."""
+        return bin(mask).count("1")
+
+
+def bit_indices(mask: int) -> Iterator[int]:
+    """Yield the set-bit positions of ``mask``, ascending."""
+    while mask:
+        low = mask & -mask
+        yield low.bit_length() - 1
+        mask ^= low
+
+
+class DenseAdjacency:
+    """An immutable dense-index snapshot of a graph's adjacency.
+
+    Attributes:
+        nodes: the graph's nodes in sorted (``str``) order -- bit ``i``
+            everywhere below refers to ``nodes[i]``.
+        index: node -> bit position.
+        masks: per node, the big-int bitmask of its neighbors.
+    """
+
+    __slots__ = ("nodes", "index", "masks")
+
+    def __init__(
+        self,
+        nodes: Sequence[Node],
+        index: Dict[Node, int],
+        masks: List[int],
+    ) -> None:
+        self.nodes = list(nodes)
+        self.index = index
+        self.masks = masks
 
 
 class UndirectedGraph:
@@ -29,6 +76,8 @@ class UndirectedGraph:
         self._nodes_cache: Optional[List[Node]] = None
         self._edges_cache: Optional[List[Tuple[Node, Node]]] = None
         self._nbrs_cache: Dict[Node, List[Node]] = {}
+        self._n_edges_cache: Optional[int] = None
+        self._dense_cache: Optional[DenseAdjacency] = None
         self._cache_version = -1
 
     # ------------------------------------------------------------------
@@ -43,6 +92,8 @@ class UndirectedGraph:
             self._nodes_cache = None
             self._edges_cache = None
             self._nbrs_cache.clear()
+            self._n_edges_cache = None
+            self._dense_cache = None
             self._cache_version = self._version
 
     def add_node(self, node: Node) -> None:
@@ -105,7 +156,26 @@ class UndirectedGraph:
         return self._edges_cache
 
     def n_edges(self) -> int:
-        return sum(len(s) for s in self._adj.values()) // 2
+        self._sync_caches()
+        if self._n_edges_cache is None:
+            self._n_edges_cache = sum(len(s) for s in self._adj.values()) // 2
+        return self._n_edges_cache
+
+    def dense_view(self) -> DenseAdjacency:
+        """The adjacency as index-renumbered neighbor bitmasks, memoized
+        against the version counter.  Callers must not mutate it."""
+        self._sync_caches()
+        if self._dense_cache is None:
+            nodes = self.nodes()
+            index = {n: i for i, n in enumerate(nodes)}
+            masks = [0] * len(nodes)
+            for node, nbrs in self._adj.items():
+                m = 0
+                for other in nbrs:
+                    m |= 1 << index[other]
+                masks[index[node]] = m
+            self._dense_cache = DenseAdjacency(nodes, index, masks)
+        return self._dense_cache
 
     def neighbors(self, node: Node) -> List[Node]:
         self._sync_caches()
@@ -147,3 +217,37 @@ class UndirectedGraph:
 
     def __iter__(self) -> Iterator[Node]:
         return iter(self.nodes())
+
+
+def graph_from_dense(
+    universe: Sequence[Node], node_mask: int, adj: Sequence[int]
+) -> UndirectedGraph:
+    """Build a graph from dense-index adjacency bitmasks.
+
+    ``universe`` is the full sorted node tuple of the bit-space; the graph
+    contains the nodes whose bits are set in ``node_mask``, with
+    ``adj[i]`` the neighbor mask of ``universe[i]`` (required symmetric
+    and confined to ``node_mask`` -- this is not re-checked).  The sorted
+    node list and the dense view are pre-warmed, so downstream consumers
+    never pay a re-sort.
+    """
+    g = UndirectedGraph()
+    nodes: List[Node] = []
+    masks: List[int] = []
+    m = node_mask
+    while m:
+        low = m & -m
+        i = low.bit_length() - 1
+        m ^= low
+        node = universe[i]
+        nodes.append(node)
+        masks.append(adj[i])
+        g._adj[node] = {universe[b] for b in bit_indices(adj[i])}
+    g._touch()
+    g._sync_caches()
+    g._nodes_cache = nodes
+    if node_mask == (1 << len(universe)) - 1:
+        # Bit-space == node set: the universe masks are the dense view.
+        index = {n: i for i, n in enumerate(nodes)}
+        g._dense_cache = DenseAdjacency(nodes, index, masks)
+    return g

@@ -58,7 +58,16 @@ class InterferenceGraphs:
 
 
 def build_interference(liveness: Liveness, nsr: NsrInfo) -> InterferenceGraphs:
-    """Construct GIG, BIG and the IIGs from liveness and NSR facts."""
+    """Construct GIG, BIG and the IIGs from liveness and NSR facts.
+
+    A liveness carrying the dense bitmask payload (built by the dense
+    analysis kernels, see :mod:`repro.core.dense`) routes to the
+    adjacency-bitset builder; results are bit-identical either way.
+    """
+    if getattr(liveness, "_dense", None) is not None:
+        from repro.core.dense import build_interference_dense
+
+        return build_interference_dense(liveness, nsr)
     program = liveness.program
 
     gig = UndirectedGraph()
