@@ -40,6 +40,11 @@ implementation ("Cold-path analysis kernel" in
 ``docs/PERFORMANCE.md``); results are bit-identical either way, so the
 flag exists for benchmarking and differential testing.  The default is
 ``dense``, or ``$REPRO_ANALYSIS`` when set.
+``chaos [--kernels a,b,c] [--scenarios x,y] [--seed N] [--json OUT]``
+    Run the fault-injection chaos harness (``docs/ROBUSTNESS.md``):
+    every scenario must end masked-by-policy or as a typed error, with
+    the independent verifier clean on masked allocations; exits
+    non-zero when the gate fails.
 ``suite``
     List the built-in benchmark kernels with basic properties.
 
@@ -329,6 +334,27 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.harness.chaos import render_chaos, run_chaos
+
+    kernels = [k for k in args.kernels.split(",") if k]
+    scenarios = (
+        [s for s in args.scenarios.split(",") if s] if args.scenarios else None
+    )
+    try:
+        report = run_chaos(kernels=kernels, scenarios=scenarios, seed=args.seed)
+    except (KeyError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(render_chaos(report))
+    if args.json:
+        from repro.obs.export import write_json
+
+        out = write_json(args.json, report.to_dict())
+        print(f"wrote chaos report to {out}", file=sys.stderr)
+    return 0 if report.ok else 1
+
+
 def cmd_suite(args: argparse.Namespace) -> int:
     print(f"{'name':14} {'instrs':>6} {'CSB%':>5}")
     for name in BENCHMARKS:
@@ -506,6 +532,26 @@ def build_parser() -> argparse.ArgumentParser:
     _add_obs_flags(p)
     _add_perf_flags(p)
     p.set_defaults(func=cmd_bench)
+
+    p = sub.add_parser(
+        "chaos",
+        help="run the fault-injection chaos harness and gate on it",
+    )
+    p.add_argument(
+        "--kernels",
+        default="crc,frag,md5",
+        help="comma-separated suite kernels to sweep (default: crc,frag,md5)",
+    )
+    p.add_argument(
+        "--scenarios",
+        default=None,
+        help="comma-separated scenario names (default: all registered)",
+    )
+    p.add_argument("--seed", type=int, default=0, help="fault-plan seed")
+    p.add_argument(
+        "--json", metavar="OUT.json", help="write the chaos report as JSON"
+    )
+    p.set_defaults(func=cmd_chaos)
 
     p = sub.add_parser("suite", help="list built-in benchmarks")
     p.set_defaults(func=cmd_suite)

@@ -15,9 +15,18 @@ This module memoizes both behind :meth:`Program.fingerprint`:
 * an optional on-disk layer (``REPRO_CACHE_DIR`` or ``--cache-dir``)
   that persists pickled ``(analysis, bounds)`` pairs across processes,
   keyed by the same fingerprint;
-* telemetry: ``cache.hit`` / ``cache.miss`` counters and events through
-  :mod:`repro.obs` whenever a capture is active, plus always-on plain
-  counters in :class:`CacheStats` for benchmarks and tests.
+* telemetry: ``cache.hit`` / ``cache.miss`` / ``cache.disk_error``
+  counters and events through :mod:`repro.obs` whenever a capture is
+  active, plus always-on plain counters in :class:`CacheStats` for
+  benchmarks and tests.
+
+Failure policy (``docs/ROBUSTNESS.md``): a corrupt or unreadable disk
+entry is quarantined to ``*.bad`` (so later runs miss cheaply instead
+of re-paying the failed decode) and treated as a miss; repeated disk
+failures take the ``cache.disk_to_memory`` degradation rung, disabling
+the disk layer for this cache while the in-memory LRU keeps working.
+The ``cache.disk`` fault-injection site and the dense-analysis
+fallback rung are exercised by ``repro chaos``.
 
 Cached values are shared objects: callers must treat a returned
 :class:`ThreadAnalysis` (and the ``coloring`` inside its
@@ -41,15 +50,21 @@ from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 from repro.core.analysis import ThreadAnalysis, analyze_thread
 from repro.core.bounds import Bounds, estimate_bounds
+from repro.errors import InjectedFault
 from repro.ir.program import Program
 from repro.obs import events as obs
 from repro.obs import metrics as obs_metrics
+from repro.resilience import faults, guard
 
 #: Environment variable naming the on-disk cache directory.
 ENV_CACHE_DIR = "REPRO_CACHE_DIR"
 
 #: Default in-process LRU capacity (entries, i.e. distinct programs).
 DEFAULT_CAPACITY = 128
+
+#: Consecutive disk-layer failures tolerated before the cache takes the
+#: ``cache.disk_to_memory`` degradation rung and disables its disk dir.
+DEFAULT_MAX_DISK_ERRORS = 4
 
 
 @dataclass
@@ -76,9 +91,48 @@ class _Entry:
         self.bounds = bounds
 
 
+def _analyze_resilient(program: Program) -> ThreadAnalysis:
+    """:func:`analyze_thread` behind the ``analysis.dense_to_reference``
+    degradation rung.
+
+    When the process default is the dense bitset kernels and they raise
+    (or the ``analysis.dense`` fault site fires), the program is
+    re-analyzed once with the set-based reference implementation --
+    bit-identical by construction -- and the rung is recorded.  Under
+    the reference implementation failures propagate unchanged.
+    """
+    from repro.core.dense import (
+        get_default_analysis_impl,
+        set_default_analysis_impl,
+    )
+
+    impl = get_default_analysis_impl()
+    try:
+        if impl == "dense" and faults.fire(
+            "analysis.dense", program=program.name
+        ):
+            raise InjectedFault(
+                f"injected dense-analysis fault for {program.name!r}"
+            )
+        return analyze_thread(program)
+    except Exception as exc:
+        if impl != "dense":
+            raise
+        guard.record_degradation(
+            "analysis.dense_to_reference",
+            reason=f"{type(exc).__name__}: {exc}",
+            program=program.name,
+        )
+        previous = set_default_analysis_impl("reference")
+        try:
+            return analyze_thread(program)
+        finally:
+            set_default_analysis_impl(previous)
+
+
 def _analyze_worker(program: Program) -> Tuple[ThreadAnalysis, Bounds]:
     """Top-level (picklable) worker: full analysis bundle for one program."""
-    analysis = analyze_thread(program)
+    analysis = _analyze_resilient(program)
     return analysis, estimate_bounds(analysis)
 
 
@@ -89,6 +143,7 @@ class AnalysisCache:
         self,
         capacity: int = DEFAULT_CAPACITY,
         cache_dir: Optional[Union[str, pathlib.Path]] = None,
+        max_disk_errors: int = DEFAULT_MAX_DISK_ERRORS,
     ):
         if capacity < 1:
             raise ValueError(f"cache capacity must be >= 1, got {capacity}")
@@ -96,7 +151,9 @@ class AnalysisCache:
         if cache_dir is None:
             cache_dir = os.environ.get(ENV_CACHE_DIR) or None
         self.cache_dir = pathlib.Path(cache_dir) if cache_dir else None
+        self.max_disk_errors = max_disk_errors
         self.stats = CacheStats()
+        self._disk_error_streak = 0
         self._entries: "OrderedDict[str, _Entry]" = OrderedDict()
 
     # ------------------------------------------------------------------
@@ -193,7 +250,7 @@ class AnalysisCache:
             self._insert(fp, entry)
             return entry
         self._count_miss(fp)
-        entry = _Entry(analyze_thread(program), None)
+        entry = _Entry(_analyze_resilient(program), None)
         self._insert(fp, entry)
         self._disk_store(fp, entry)
         return entry
@@ -211,22 +268,71 @@ class AnalysisCache:
     def _disk_path(self, fp: str) -> Optional[pathlib.Path]:
         return self.cache_dir / f"{fp}.pkl" if self.cache_dir else None
 
+    def _disk_fail(self, fp: str, exc: BaseException, action: str) -> None:
+        """Count a disk-layer failure; degrade to memory-only if they
+        keep coming (the ``cache.disk_to_memory`` rung)."""
+        self.stats.disk_errors += 1
+        self._disk_error_streak += 1
+        em = obs.get_emitter()
+        if em.enabled:
+            em.emit(
+                "cache.disk_error",
+                fingerprint=fp[:12],
+                error=f"{type(exc).__name__}: {exc}",
+                action=action,
+            )
+            obs_metrics.registry().counter("cache.disk_error").inc()
+        if (
+            self.cache_dir is not None
+            and self._disk_error_streak >= self.max_disk_errors
+        ):
+            guard.record_degradation(
+                "cache.disk_to_memory",
+                reason=f"{self._disk_error_streak} consecutive disk-cache "
+                f"failures (last: {type(exc).__name__}: {exc})",
+                cache_dir=str(self.cache_dir),
+            )
+            self.cache_dir = None
+
+    @staticmethod
+    def _quarantine(path: pathlib.Path) -> str:
+        """Move a corrupt entry aside (``*.bad``) so later runs miss
+        cheaply instead of re-paying the failed unpickle; returns the
+        action taken for the ``cache.disk_error`` event."""
+        try:
+            os.replace(path, path.with_suffix(".bad"))
+            return "quarantined"
+        except OSError:
+            pass
+        try:
+            path.unlink()
+            return "deleted"
+        except OSError:
+            return "left-in-place"
+
     def _disk_load(self, fp: str) -> Optional[_Entry]:
         path = self._disk_path(fp)
         if path is None:
             return None
+        spec = faults.fire("cache.disk", fingerprint=fp[:12])
+        if spec is not None:
+            _damage_entry(path, spec.mode)
         try:
             with path.open("rb") as fh:
                 analysis, bounds = pickle.load(fh)
             if not isinstance(analysis, ThreadAnalysis):
                 raise TypeError(f"unexpected payload in {path}")
-            return _Entry(analysis, bounds)
         except FileNotFoundError:
             return None
-        except Exception:
-            # A corrupt / foreign / version-skewed file is just a miss.
-            self.stats.disk_errors += 1
+        except Exception as exc:
+            # A corrupt / foreign / version-skewed file is a miss -- but
+            # never a silent one: the entry is quarantined so the next
+            # run does not re-pay the failed decode, and the failure is
+            # tagged for telemetry and the degradation ladder.
+            self._disk_fail(fp, exc, self._quarantine(path))
             return None
+        self._disk_error_streak = 0
+        return _Entry(analysis, bounds)
 
     def _disk_store(self, fp: str, entry: _Entry) -> None:
         path = self._disk_path(fp)
@@ -248,8 +354,27 @@ class AnalysisCache:
             except BaseException:
                 os.unlink(tmp)
                 raise
-        except OSError:
-            self.stats.disk_errors += 1
+        except OSError as exc:
+            self._disk_fail(fp, exc, "store-failed")
+        else:
+            self._disk_error_streak = 0
+
+
+def _damage_entry(path: pathlib.Path, mode: str) -> None:
+    """Fault-injection helper: damage an on-disk entry in place.
+
+    ``truncate`` keeps the first half of the bytes (a partial write);
+    anything else overwrites the entry with deterministic garbage.  A
+    missing entry is left missing -- that is already a plain miss.
+    """
+    try:
+        data = path.read_bytes()
+    except OSError:
+        return
+    if mode == "truncate":
+        path.write_bytes(data[: len(data) // 2])
+    else:
+        path.write_bytes(b"\x00repro-injected-corruption\x00" + data[:32][::-1])
 
 
 _cache = AnalysisCache()

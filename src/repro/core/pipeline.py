@@ -18,10 +18,13 @@ from repro.core.assign import RegisterAssignment, assign_physical
 from repro.core.cache import get_cache
 from repro.core.inter import InterThreadResult, allocate_threads
 from repro.core.rewrite import rewrite_program
-from repro.errors import AllocationError
+from repro.errors import AllocationError, TransientError
 from repro.ir.program import Program
 from repro.ir.validate import validate_program
 from repro.obs import events as obs
+from repro.resilience import deadline as dl
+from repro.resilience import faults, guard
+from repro.resilience.deadline import Deadline
 
 
 @dataclass
@@ -60,12 +63,24 @@ class AllocationOutcome:
         return "\n".join(lines)
 
 
+def _analyze_all(cache, programs: Sequence[Program], jobs: int):
+    """One analyze attempt; carries the ``pipeline.analyze`` fault site."""
+    spec = faults.fire("pipeline.analyze", threads=len(programs))
+    if spec is not None:
+        raise TransientError("injected transient analysis failure")
+    if jobs > 1:
+        pairs = cache.warm_many(programs, jobs=jobs)
+        return [a for a, _ in pairs]
+    return [cache.analyze(p) for p in programs]
+
+
 def allocate_programs(
     programs: Sequence[Program],
     nreg: int,
     check_init: bool = True,
     policy: str = "greedy",
     jobs: int = 1,
+    deadline: Optional[Deadline] = None,
 ) -> AllocationOutcome:
     """Allocate registers for one PU running ``programs`` on its threads.
 
@@ -77,30 +92,40 @@ def allocate_programs(
             ``round_robin`` ablation).
         jobs: analyze cache misses in this many worker processes
             (``repro.harness.sweep``); 1 keeps everything in-process.
+        deadline: optional cooperative wall-clock budget; checked at
+            every phase boundary, raising
+            :class:`~repro.errors.DeadlineExceeded` once spent.
 
     Analysis and bounds are memoized per program content through
     :func:`repro.core.cache.get_cache`; repeated allocations of the
     same thread programs (sweeps over ``nreg``, spill-fallback retries)
-    skip straight to the inter-thread phase.
+    skip straight to the inter-thread phase.  Transient analysis
+    failures are retried a bounded number of times
+    (:func:`repro.resilience.guard.retry_transient`) before surfacing.
     """
     cache = get_cache()
     em = obs.get_emitter()
     with em.span("allocate", threads=len(programs), nreg=nreg, policy=policy):
+        dl.check(deadline, "validate")
         with em.span("validate"):
             for program in programs:
                 validate_program(program, check_init=check_init)
+        dl.check(deadline, "analyze")
         with em.span("analyze"):
-            if jobs > 1:
-                pairs = cache.warm_many(programs, jobs=jobs)
-                analyses = [a for a, _ in pairs]
-            else:
-                analyses = [cache.analyze(p) for p in programs]
+            analyses = guard.retry_transient(
+                lambda: _analyze_all(cache, programs, jobs),
+                label="pipeline.analyze",
+            )
+        dl.check(deadline, "bounds")
         with em.span("bounds"):
             bounds = [cache.bounds(p) for p in programs]
+        dl.check(deadline, "inter")
         with em.span("inter"):
             inter = allocate_threads(analyses, nreg, policy=policy, bounds=bounds)
+        dl.check(deadline, "assign")
         with em.span("assign"):
             assignment = assign_physical(inter)
+        dl.check(deadline, "rewrite")
         with em.span("rewrite"):
             rewritten = [
                 rewrite_program(t.analysis, t.context, m)
@@ -140,6 +165,7 @@ def allocate_with_spill_fallback(
     check_init: bool = True,
     max_spill_rounds: int = 16,
     jobs: int = 1,
+    deadline: Optional[Deadline] = None,
 ) -> HybridOutcome:
     """Cross-thread allocation with graceful degradation.
 
@@ -147,10 +173,12 @@ def allocate_with_spill_fallback(
     pipeline raises :class:`AllocationError`), the hungriest thread is
     pre-spilled -- Chaitin-style spill code lowers its register pressure
     while the program stays in virtual registers -- and allocation is
-    retried.  Spills go to per-thread scratch areas; each spill access
+    retried: the ``alloc.greedy_to_spill`` rung of the degradation
+    ladder.  Spills go to per-thread scratch areas; each spill access
     costs a memory trip, so this is strictly a fallback, but every input
     that a 3-registers-per-instruction machine can run at all eventually
-    fits.
+    fits.  Error messages name the *original* thread program (spill
+    rounds rewrite ``current[idx]``) and the failing round.
     """
     from repro.baseline.chaitin import (
         DEFAULT_SPILL_BASE,
@@ -160,11 +188,17 @@ def allocate_with_spill_fallback(
 
     cache = get_cache()
     current = [p.copy() for p in programs]
+    original_names = [p.name for p in programs]
     spilled: Dict[int, int] = {}
-    for _ in range(max_spill_rounds):
+    for round_no in range(1, max_spill_rounds + 1):
+        dl.check(deadline, f"spill-round-{round_no}")
         try:
             outcome = allocate_programs(
-                current, nreg, check_init=check_init, jobs=jobs
+                current,
+                nreg,
+                check_init=check_init,
+                jobs=jobs,
+                deadline=deadline,
             )
             return HybridOutcome(outcome=outcome, spilled_per_thread=spilled)
         except AllocationError:
@@ -178,20 +212,35 @@ def allocate_with_spill_fallback(
         target = max(bounds[idx].min_r - 2, 3)
         if target >= bounds[idx].min_r:
             raise AllocationError(
-                f"cannot reduce {current[idx].name} below "
-                f"{bounds[idx].min_r} registers"
+                f"cannot reduce {original_names[idx]} below "
+                f"{bounds[idx].min_r} registers "
+                f"(spill round {round_no}/{max_spill_rounds})"
             )
+        guard.record_degradation(
+            "alloc.greedy_to_spill",
+            reason=f"nreg={nreg} infeasible; pre-spilling "
+            f"{original_names[idx]} toward {target} registers",
+            thread=idx,
+            round=round_no,
+        )
         virtual, _, stats = spill_until_colorable(
             current[idx],
             target,
             spill_base=DEFAULT_SPILL_BASE + idx * SPILL_AREA_STRIDE,
         )
-        current[idx] = virtual
-        spilled[idx] = spilled.get(idx, 0) + len(set(stats.spilled))
+        # Check progress against THIS round's spill stats before folding
+        # them into the running total -- reading ``spilled[idx]`` after
+        # the update would see the previous rounds' work and miss a
+        # round that spilled nothing.
         if not stats.spilled:
             raise AllocationError(
-                f"spill fallback made no progress on {current[idx].name}"
+                f"spill fallback made no progress on {original_names[idx]} "
+                f"in round {round_no}/{max_spill_rounds}"
             )
+        current[idx] = virtual
+        spilled[idx] = spilled.get(idx, 0) + len(set(stats.spilled))
     raise AllocationError(
-        f"spill fallback did not converge in {max_spill_rounds} rounds"
+        f"spill fallback did not converge in {max_spill_rounds} rounds "
+        f"(threads spilled so far: "
+        f"{ {original_names[i]: n for i, n in sorted(spilled.items())} })"
     )

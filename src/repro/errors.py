@@ -34,8 +34,58 @@ class AllocationError(ReproError):
     """Register allocation failed (infeasible budget, internal conflict)."""
 
 
+class TransientError(ReproError):
+    """A failure that is expected to succeed on retry.
+
+    Raised by infrastructure layers (and by the fault injector's
+    ``transient`` mode) for conditions with no persistent cause; the
+    degradation ladder (:mod:`repro.resilience.guard`) retries these a
+    bounded number of times before letting them surface.
+    """
+
+
+class InjectedFault(ReproError):
+    """A deliberately injected fault surfaced without being masked.
+
+    Only ever raised while a :mod:`repro.resilience.faults` plan is
+    armed; seeing it in production code paths means fault injection was
+    left enabled, never that the system itself failed.
+    """
+
+
+class DeadlineExceeded(ReproError):
+    """A :class:`repro.resilience.Deadline` budget ran out mid-pipeline.
+
+    Carries the phase that tripped the check so callers know how far
+    the work got before the budget expired.
+    """
+
+    def __init__(self, message: str, phase: str = ""):
+        self.phase = phase
+        super().__init__(message)
+
+
+class VerificationError(ReproError):
+    """The independent allocation verifier rejected an outcome.
+
+    Raised by :func:`repro.core.verify.verify_outcome` in strict mode;
+    the message lists every failed check.
+    """
+
+
 class SimulationError(ReproError):
     """The machine simulator hit an illegal state (bad address, opcode...)."""
+
+
+class WatchdogError(SimulationError):
+    """The simulator's cycle watchdog fired before every thread halted.
+
+    Raised by both engines when a run exceeds ``max_cycles`` -- a
+    non-terminating rewritten program, a thread stuck waiting on a wake
+    that never comes, or simply a budget too small for the workload.
+    Subclasses :class:`SimulationError` so pre-watchdog callers keep
+    working.
+    """
 
 
 class EngineError(SimulationError):

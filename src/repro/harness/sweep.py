@@ -7,18 +7,32 @@ independent, so :func:`sweep_map` runs them through a
 ``ProcessPoolExecutor`` while keeping the results in submission order --
 the output is positionally identical to ``[fn(x) for x in items]``.
 
-Degradation is deliberate and quiet-but-visible:
+Degradation is deliberate and quiet-but-visible -- the
+``sweep.parallel_to_serial`` rung of the ladder in
+:mod:`repro.resilience.guard`:
 
 * ``jobs <= 1`` (or a single item) runs serially with no pool at all --
   the default, and the only mode used by tier-1 tests;
 * a pool that cannot be *built or fed* (fork unavailable, unpicklable
-  worker, a worker killed by the OS) emits a ``RuntimeWarning`` plus a
-  ``sweep.fallback`` telemetry event and re-runs the whole sweep
-  serially, so the only way to lose results is a genuine error in
-  ``fn`` itself -- which then raises exactly as it would have serially.
+  worker, a worker killed by the OS) emits a ``RuntimeWarning`` plus
+  ``sweep.fallback`` / ``resilience.degrade`` telemetry and finishes
+  the sweep serially -- but **only the items that have no result yet**
+  are rerun.  Items whose futures already completed keep their pool
+  results, so side effects (and telemetry) are not double-counted for
+  work that succeeded before the pool broke.  The only way to lose
+  results is a genuine error in ``fn`` itself -- which then raises
+  exactly as it would have serially.
+* ``timeout`` bounds the whole parallel phase in wall seconds; on
+  expiry the pool is abandoned (``cancel_futures``) and the missing
+  items run serially.  An item genuinely hung *inside* ``fn`` will
+  then hang the serial rerun too -- the timeout protects against stuck
+  pool infrastructure, not against a non-terminating ``fn``.
 
 Workers must be module-level callables (picklable); pair with
-``functools.partial`` to bind per-sweep constants.
+``functools.partial`` to bind per-sweep constants.  The parent-side
+result harvest carries the ``sweep.pool`` fault-injection site
+(:mod:`repro.resilience.faults`): mode ``crash`` breaks the pool,
+mode ``hang`` expires the timeout.
 """
 
 from __future__ import annotations
@@ -26,10 +40,11 @@ from __future__ import annotations
 import os
 import pickle
 import warnings
-from typing import Any, Callable, List, Sequence, TypeVar
+from typing import Callable, List, Optional, Sequence, TypeVar
 
 from repro.obs import events as obs
 from repro.obs import metrics as obs_metrics
+from repro.resilience import faults, guard
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -66,11 +81,35 @@ def _pool_failure_types() -> tuple:
         return _POOL_FAILURES + (pickle.PicklingError,)
 
 
-def _note_fallback(label: str, reason: str) -> None:
+def _note_fallback(label: str, reason: str, missing: int) -> None:
+    warnings.warn(
+        f"sweep {label!r}: process pool unavailable ({reason}); "
+        f"finishing {missing} item(s) serially",
+        RuntimeWarning,
+        stacklevel=3,
+    )
+    guard.record_degradation(
+        "sweep.parallel_to_serial", reason=reason, label=label, missing=missing
+    )
     em = obs.get_emitter()
     if em.enabled:
-        em.emit("sweep.fallback", label=label, reason=reason)
+        em.emit("sweep.fallback", label=label, reason=reason, missing=missing)
         obs_metrics.registry().counter("sweep.fallback").inc()
+
+
+def _fire_pool_fault() -> None:
+    """Parent-side ``sweep.pool`` fault site (consulted per harvested
+    result): simulate the pool breaking or a worker hanging."""
+    spec = faults.fire("sweep.pool")
+    if spec is None:
+        return
+    if spec.mode == "hang":
+        from concurrent.futures import TimeoutError as FuturesTimeout
+
+        raise FuturesTimeout("injected worker hang")
+    from concurrent.futures.process import BrokenProcessPool
+
+    raise BrokenProcessPool("injected pool crash")
 
 
 def sweep_map(
@@ -78,6 +117,7 @@ def sweep_map(
     items: Sequence[T],
     jobs: int = 1,
     label: str = "sweep",
+    timeout: Optional[float] = None,
 ) -> List[R]:
     """``[fn(x) for x in items]``, parallel over ``jobs`` processes.
 
@@ -88,20 +128,50 @@ def sweep_map(
     items = list(items)
     if jobs <= 1 or len(items) <= 1:
         return [fn(item) for item in items]
+    results: List[Optional[R]] = [None] * len(items)
+    done = [False] * len(items)
     try:
+        from concurrent.futures import TimeoutError as FuturesTimeout
+        from concurrent.futures import as_completed
         from concurrent.futures import ProcessPoolExecutor
-
-        with ProcessPoolExecutor(max_workers=min(jobs, len(items))) as pool:
-            # Executor.map preserves input order; chunksize=1 keeps the
-            # points independently schedulable (they are coarse-grained).
-            return list(pool.map(fn, items, chunksize=1))
-    except _pool_failure_types() as exc:
-        reason = f"{type(exc).__name__}: {exc}"
-        warnings.warn(
-            f"sweep {label!r}: process pool unavailable ({reason}); "
-            "falling back to a serial run",
-            RuntimeWarning,
-            stacklevel=2,
-        )
-        _note_fallback(label, reason)
+    except ImportError as exc:  # pragma: no cover - stdlib always has it
+        _note_fallback(label, f"{type(exc).__name__}: {exc}", len(items))
         return [fn(item) for item in items]
+
+    pool = None
+    futures: dict = {}
+    try:
+        pool = ProcessPoolExecutor(max_workers=min(jobs, len(items)))
+        futures = {
+            pool.submit(fn, item): i for i, item in enumerate(items)
+        }
+        for future in as_completed(futures, timeout=timeout):
+            i = futures[future]
+            results[i] = future.result()  # application errors re-raise
+            done[i] = True
+            _fire_pool_fault()
+        pool.shutdown(wait=True)
+        return list(results)  # type: ignore[arg-type]
+    except (_pool_failure_types() + (FuturesTimeout,)) as exc:
+        reason = f"{type(exc).__name__}: {exc}"
+        if pool is not None:
+            if isinstance(exc, FuturesTimeout):
+                # Abandon a (possibly hung) pool without waiting on it.
+                pool.shutdown(wait=False, cancel_futures=True)
+            else:
+                pool.shutdown(wait=True)
+        # Harvest futures that finished despite the failure: their work
+        # is done and must not be re-executed (double side effects).
+        for future, i in futures.items():
+            if done[i] or not future.done() or future.cancelled():
+                continue
+            try:
+                results[i] = future.result(timeout=0)
+                done[i] = True
+            except BaseException:
+                pass  # rerun it serially below
+        missing = [i for i, ok in enumerate(done) if not ok]
+        _note_fallback(label, reason, len(missing))
+        for i in missing:
+            results[i] = fn(items[i])
+        return list(results)  # type: ignore[arg-type]

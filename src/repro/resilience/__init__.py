@@ -1,0 +1,51 @@
+"""Resilience subsystem: fault injection, deadlines, and degradation.
+
+Four pillars (see ``docs/ROBUSTNESS.md``):
+
+* :mod:`repro.resilience.faults` -- deterministic, seedable,
+  context-manager-scoped fault injection behind hook points threaded
+  through the cache, sweep, pipeline, and both simulator engines;
+* :mod:`repro.resilience.deadline` -- cooperative wall-clock budgets
+  for the allocator pipeline (the simulators use cycle watchdogs);
+* :mod:`repro.resilience.guard` -- the unified degradation ladder and
+  bounded transient retry;
+* the independent verifier lives with the allocator it checks, in
+  :mod:`repro.core.verify`, and the chaos harness that sweeps fault
+  scenarios in :mod:`repro.harness.chaos`.
+"""
+
+from repro.resilience.deadline import Deadline
+from repro.resilience.faults import (
+    FaultPlan,
+    FaultRecord,
+    FaultSpec,
+    inject,
+    suspended,
+)
+from repro.resilience.guard import (
+    LADDER,
+    Degradation,
+    Rung,
+    clear_degradations,
+    degradations,
+    record_degradation,
+    retry_transient,
+    watching,
+)
+
+__all__ = [
+    "Deadline",
+    "Degradation",
+    "FaultPlan",
+    "FaultRecord",
+    "FaultSpec",
+    "LADDER",
+    "Rung",
+    "clear_degradations",
+    "degradations",
+    "inject",
+    "record_degradation",
+    "retry_transient",
+    "suspended",
+    "watching",
+]

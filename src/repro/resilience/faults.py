@@ -1,0 +1,219 @@
+"""Deterministic, seedable, context-manager-scoped fault injection.
+
+Production code paths carry cheap *hook points* -- a call to
+:func:`fire` naming a **site** such as ``"cache.disk"`` or
+``"sim.stuck"`` -- that return ``None`` unless a :class:`FaultPlan` is
+armed for the current block.  Arming happens only through
+:func:`inject`::
+
+    with inject(FaultSpec("cache.disk", mode="truncate"), seed=7) as plan:
+        ...  # the next disk-cache read sees a truncated entry
+    assert plan.fired  # the fault actually triggered
+
+Everything is deterministic: a plan owns a single ``random.Random``
+seeded at construction, specs fire on exact hit counts (``after`` /
+``count``), and sites draw any randomness they need (e.g. which bit to
+flip) from the plan's RNG -- the same seed replays the same faults.
+
+Every triggered fault is tagged twice so tests and the chaos harness
+can assert it was either *masked* or surfaced as a typed
+:class:`~repro.errors.ReproError`:
+
+* a ``fault.injected`` telemetry event (site, mode, hit number) when a
+  capture is active, plus a ``fault.injected`` metric counter;
+* an always-on :class:`FaultRecord` appended to ``plan.fired``.
+
+Known sites (the hook points threaded through the tree):
+
+=====================  ====================================================
+site                   where / what
+=====================  ====================================================
+``cache.disk``         :meth:`repro.core.cache.AnalysisCache._disk_load`;
+                       modes ``corrupt`` / ``truncate`` damage the on-disk
+                       entry before it is read
+``sweep.pool``         :func:`repro.harness.sweep.sweep_map` result
+                       harvesting; mode ``crash`` breaks the pool, mode
+                       ``hang`` simulates a worker that never returns
+``pipeline.analyze``   :func:`repro.core.pipeline.allocate_programs`
+                       analyze phase; mode ``transient`` raises
+                       :class:`~repro.errors.TransientError`
+``analysis.dense``     :class:`repro.core.cache.AnalysisCache` analysis of
+                       a cache miss under the dense kernels; mode
+                       ``error`` raises :class:`~repro.errors.InjectedFault`
+``sim.bitflip``        both engines, at context-switch boundaries; flips
+                       one RNG-chosen bit of one physical register
+``sim.stuck``          both engines, at memory blocks; the thread's wake
+                       time moves past any plausible ``max_cycles`` so
+                       only the watchdog can end the run
+=====================  ====================================================
+"""
+
+from __future__ import annotations
+
+import random
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from repro.obs import events as obs
+from repro.obs import metrics as obs_metrics
+
+#: Wake delay used by the ``sim.stuck`` site: far past any plausible
+#: ``max_cycles`` so the blocked thread never becomes ready again and
+#: only the cycle watchdog can end the run.
+STUCK_DELAY = 1 << 62
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One scheduled fault: fire at ``site`` on specific hook hits.
+
+    Attributes:
+        site: hook-point name (see the module table).
+        mode: site-specific behaviour (``corrupt``, ``truncate``,
+            ``crash``, ``hang``, ``transient``, ``error``, ``bitflip``,
+            ``stuck`` -- each site documents its modes).
+        after: skip this many eligible hits before the first fire.
+        count: fire at most this many times (0 disables the spec).
+        prob: probability of firing on an eligible hit, drawn from the
+            plan's seeded RNG; 1.0 (the default) keeps firing exact.
+    """
+
+    site: str
+    mode: str = "error"
+    after: int = 0
+    count: int = 1
+    prob: float = 1.0
+
+
+@dataclass(frozen=True)
+class FaultRecord:
+    """One fault that actually fired (always recorded, telemetry or not)."""
+
+    site: str
+    mode: str
+    hit: int  #: 1-based hit number at the site when the fault fired
+    context: Tuple[Tuple[str, Any], ...] = ()
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "site": self.site,
+            "mode": self.mode,
+            "hit": self.hit,
+            **dict(self.context),
+        }
+
+
+class FaultPlan:
+    """A set of :class:`FaultSpec` plus the bookkeeping to fire them.
+
+    Plans are armed with :func:`inject`; hook points reach the armed
+    plan through :func:`active` / :func:`fire`.  ``rng`` is the single
+    seeded source of randomness for both the firing decision
+    (``prob < 1``) and any site-level choices (bit positions, register
+    indices), so one seed replays one fault history exactly.
+    """
+
+    def __init__(self, specs: Tuple[FaultSpec, ...], seed: int = 0):
+        self.specs = tuple(specs)
+        self.seed = seed
+        self.rng = random.Random(seed)
+        self.hits: Dict[str, int] = {}
+        self.fired: List[FaultRecord] = []
+        self._remaining: Dict[int, int] = {
+            i: s.count for i, s in enumerate(self.specs)
+        }
+
+    def fire(self, site: str, **context: Any) -> Optional[FaultSpec]:
+        """Count a hook hit at ``site``; return the spec that fires, if any.
+
+        The hit is counted once per call regardless of how many specs
+        watch the site; the first eligible spec (declaration order)
+        wins.  Firing appends a :class:`FaultRecord` and emits a
+        ``fault.injected`` telemetry event.
+        """
+        hit = self.hits.get(site, 0) + 1
+        self.hits[site] = hit
+        for i, spec in enumerate(self.specs):
+            if spec.site != site or self._remaining[i] <= 0:
+                continue
+            if hit <= spec.after:
+                continue
+            if spec.prob < 1.0 and self.rng.random() >= spec.prob:
+                continue
+            self._remaining[i] -= 1
+            record = FaultRecord(
+                site=site,
+                mode=spec.mode,
+                hit=hit,
+                context=tuple(sorted(context.items())),
+            )
+            self.fired.append(record)
+            em = obs.get_emitter()
+            if em.enabled:
+                em.emit("fault.injected", **record.to_dict())
+                obs_metrics.registry().counter("fault.injected").inc()
+            return spec
+        return None
+
+    def fired_at(self, site: str) -> List[FaultRecord]:
+        return [r for r in self.fired if r.site == site]
+
+
+_active: Optional[FaultPlan] = None
+
+
+def active() -> Optional[FaultPlan]:
+    """The armed plan, or ``None`` (the overwhelmingly common case)."""
+    return _active
+
+
+def fire(site: str, **context: Any) -> Optional[FaultSpec]:
+    """Hook-point helper: fire against the armed plan, if any.
+
+    Cheap when disarmed -- one global read and a ``None`` check -- so
+    hook points on warm paths can call it unconditionally.  Hot loops
+    (the simulators) should instead grab :func:`active` once per run
+    and skip their fault branches entirely when it is ``None``.
+    """
+    plan = _active
+    if plan is None:
+        return None
+    return plan.fire(site, **context)
+
+
+@contextmanager
+def inject(
+    *specs: FaultSpec, seed: int = 0, plan: Optional[FaultPlan] = None
+) -> Iterator[FaultPlan]:
+    """Arm a fault plan for the duration of the block.
+
+    The previous plan (normally none) is restored on exit, even on
+    error, so injections scope cleanly and never leak into unrelated
+    code -- including across test boundaries.
+    """
+    global _active
+    armed = plan if plan is not None else FaultPlan(specs, seed=seed)
+    previous = _active
+    _active = armed
+    try:
+        yield armed
+    finally:
+        _active = previous
+
+
+@contextmanager
+def suspended() -> Iterator[None]:
+    """Disarm fault injection for the block (restored on exit).
+
+    Used by the independent verifier: its *oracle* runs must see the
+    true machine, not the faulted one, or a corrupted oracle would mask
+    real divergence (or report phantom divergence).
+    """
+    global _active
+    previous = _active
+    _active = None
+    try:
+        yield
+    finally:
+        _active = previous

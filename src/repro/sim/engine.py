@@ -31,6 +31,7 @@ from typing import Optional, Sequence, Tuple, Union
 from repro.errors import EngineError
 from repro.ir.program import Program
 from repro.obs import events as obs
+from repro.resilience import guard
 from repro.sim.fast import FastMachine
 from repro.sim.machine import Machine
 
@@ -112,6 +113,9 @@ def select_engine(
             message + " -- falling back to the reference engine",
             RuntimeWarning,
             stacklevel=3,
+        )
+        guard.record_degradation(
+            "engine.fast_to_reference", reason="; ".join(blockers)
         )
         return "reference"
     return "fast"

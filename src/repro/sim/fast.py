@@ -42,8 +42,9 @@ import heapq
 from collections import deque
 from typing import Callable, List, Optional, Sequence, Tuple
 
-from repro.errors import EngineError, SimulationError
+from repro.errors import EngineError, SimulationError, WatchdogError
 from repro.ir.program import Program
+from repro.resilience import faults
 from repro.sim import decode as dc
 from repro.sim.machine import ThreadContext
 from repro.sim.memory import MASK32, Memory
@@ -535,6 +536,17 @@ class FastMachine:
                     return latency
         return self.mem_latency
 
+    def _fire_bitflip(self, plan, tid: int, cycle: int) -> None:
+        """``sim.bitflip`` fault site at a context-switch boundary:
+        flip one random bit of one random physical register (mirrors
+        ``Machine._relinquish``)."""
+        spec = faults.fire("sim.bitflip", tid=tid, cycle=cycle)
+        if spec is None or self.nreg <= 0:
+            return
+        index = plan.rng.randrange(self.nreg)
+        bit = plan.rng.randrange(32)
+        self.regfile[index] ^= 1 << bit
+
     def run(
         self,
         max_cycles: int = 50_000_000,
@@ -563,6 +575,10 @@ class FastMachine:
         all_counts = self._counts
         heappush = heapq.heappush
         heappop = heapq.heappop
+        # Fault-injection plan, fetched ONCE per run: the hot loop pays
+        # a single local-variable None check per CSB when nothing is
+        # armed.  A plan armed mid-run is picked up by the next run().
+        plan = faults.active()
 
         ready = deque(t.tid for t in threads)
         pending: List[Tuple[int, int]] = []
@@ -579,7 +595,7 @@ class FastMachine:
                 break
             if cycle > max_cycles:
                 self.cycle = cycle
-                raise SimulationError(
+                raise WatchdogError(
                     f"exceeded {max_cycles} cycles; runaway program?"
                 )
             while pending and pending[0][0] <= cycle:
@@ -625,7 +641,7 @@ class FastMachine:
                 cnt[3] += executed  # busy_cycles
                 thread.pc = pc
                 self.cycle = cycle
-                raise SimulationError(
+                raise WatchdogError(
                     f"exceeded {max_cycles} cycles; runaway program?"
                 )
 
@@ -695,6 +711,8 @@ class FastMachine:
                 cnt[5] += 1  # ctx_instrs
                 pcs[tid] = pc + 1
                 ready.append(tid)
+                if plan is not None:
+                    self._fire_bitflip(plan, tid, cycle)
                 cycle += ctx_cost
                 switch += ctx_cost
                 cnt[6] += 1  # switches
@@ -704,6 +722,8 @@ class FastMachine:
                 thread.halted = True
                 halted_count += 1
                 thread.stats.finish_cycle = cycle
+                if plan is not None:
+                    self._fire_bitflip(plan, tid, cycle)
                 cycle += ctx_cost
                 switch += ctx_cost
                 cnt[6] += 1
@@ -778,6 +798,13 @@ class FastMachine:
                 wake_at = cycle + latency
             else:
                 wake_at = cycle + mem_latency
+            if plan is not None:
+                # ``sim.stuck``: the wake never arrives; the idle-advance
+                # jumps the clock past ``max_cycles`` and the watchdog
+                # fires -- never a hang (mirrors Machine._block).
+                if faults.fire("sim.stuck", tid=tid, cycle=cycle) is not None:
+                    wake_at = cycle + faults.STUCK_DELAY
+                self._fire_bitflip(plan, tid, cycle)
             heappush(pending, (wake_at, tid))
             pcs[tid] = pc + 1
             cycle += ctx_cost

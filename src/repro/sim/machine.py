@@ -36,7 +36,8 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, NamedTuple, Optional, Sequence, Tuple
 
 from repro.core.assign import RegisterAssignment
-from repro.errors import SafetyViolation, SimulationError
+from repro.errors import SafetyViolation, SimulationError, WatchdogError
+from repro.resilience import faults
 from repro.ir.instruction import Instruction
 from repro.ir.opcodes import Opcode
 from repro.ir.operands import Imm, PhysReg, Reg, VirtualReg
@@ -332,7 +333,7 @@ class Machine:
             if stop_on_first_halt and self._halted_count:
                 break
             if self.cycle > max_cycles:
-                raise SimulationError(
+                raise WatchdogError(
                     f"exceeded {max_cycles} cycles; runaway program?"
                 )
             if current is None:
@@ -391,6 +392,8 @@ class Machine:
 
     def _relinquish(self, thread: ThreadContext) -> None:
         self._snapshot_private(thread)
+        if faults.active() is not None:
+            self._fire_bitflip(thread)
         if self.timeline is not None:
             self._mark(
                 "switch", thread.tid, self.cycle, self.cycle + self.ctx_cost
@@ -522,6 +525,22 @@ class Machine:
         thread.pc = next_pc
         return thread
 
+    def _fire_bitflip(self, thread: ThreadContext) -> None:
+        """``sim.bitflip`` fault site: flip one random bit of one random
+        physical register at a context-switch boundary.  Fired *after*
+        :meth:`_snapshot_private`, so a flip landing in the relinquishing
+        thread's own private window is exactly the clobbering that
+        paranoid mode's :meth:`_verify_private` exists to catch."""
+        spec = faults.fire("sim.bitflip", tid=thread.tid, cycle=self.cycle)
+        if spec is None:
+            return
+        plan = faults.active()
+        if plan is None or self.nreg <= 0:  # pragma: no cover - raced disarm
+            return
+        index = plan.rng.randrange(self.nreg)
+        bit = plan.rng.randrange(32)
+        self.regfile[index] ^= 1 << bit
+
     def _measure_mark(self, thread: ThreadContext) -> None:
         """Fixed-window measurement: the window opens at the first
         successful recv and closes at recv number ``measure_iterations +
@@ -545,6 +564,13 @@ class Machine:
     def _block(self, thread: ThreadContext, addr: Optional[int] = None) -> None:
         thread.stats.mem_ops += 1
         thread.blocked_until = self.cycle + self._latency_for(addr)
+        if faults.active() is not None:
+            # ``sim.stuck`` fault site: the wake never arrives (a lost
+            # memory grant).  The idle-advance then jumps the clock past
+            # ``max_cycles`` and the watchdog fires -- never a hang.
+            spec = faults.fire("sim.stuck", tid=thread.tid, cycle=self.cycle)
+            if spec is not None:
+                thread.blocked_until = self.cycle + faults.STUCK_DELAY
         heapq.heappush(
             self._pending_wake, (thread.blocked_until, thread.tid)
         )

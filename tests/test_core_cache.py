@@ -176,6 +176,71 @@ def test_scoped_restores_global():
     assert get_cache() is before
 
 
+def test_truncated_disk_entry_quarantined_and_recomputed(tmp_path):
+    # Regression: a half-written entry (e.g. a crash mid-store on an fs
+    # without atomic rename) must be quarantined -- not retried forever,
+    # not silently trusted -- and the analysis recomputed correctly.
+    writer = AnalysisCache(cache_dir=tmp_path)
+    p = prog(FIG3_T1, "t1")
+    writer.analyze(p)
+    writer.bounds(p)
+    path = tmp_path / f"{p.fingerprint()}.pkl"
+    data = path.read_bytes()
+    path.write_bytes(data[: len(data) // 2])
+
+    reader = AnalysisCache(cache_dir=tmp_path)
+    with events.capture() as em:
+        got = reader.analyze(prog(FIG3_T1, "t1"))
+    assert reader.stats.disk_errors == 1
+    assert reader.stats.misses == 1  # recomputed, not trusted
+    assert (tmp_path / f"{p.fingerprint()}.bad").exists()
+    disk_events = [e for e in em.events if e.name == "cache.disk_error"]
+    assert disk_events and disk_events[0].fields["action"] == "quarantined"
+    assert got.slots == analyze_thread(prog(FIG3_T1, "t1")).slots
+    # The recomputed entry was re-stored; a third cache disk-hits it.
+    third = AnalysisCache(cache_dir=tmp_path)
+    third.analyze(prog(FIG3_T1, "t1"))
+    assert third.stats.disk_hits == 1
+    assert third.stats.disk_errors == 0
+
+
+def test_injected_disk_faults_are_recoverable(tmp_path):
+    from repro.resilience import faults
+    from repro.resilience.faults import FaultSpec
+
+    for mode in ("truncate", "corrupt"):
+        sub = tmp_path / mode
+        writer = AnalysisCache(cache_dir=sub)
+        p = prog(FIG3_T1, "t1")
+        want = writer.analyze(p)
+
+        reader = AnalysisCache(cache_dir=sub)
+        with faults.inject(FaultSpec("cache.disk", mode=mode)) as plan:
+            got = reader.analyze(prog(FIG3_T1, "t1"))
+        assert plan.fired_at("cache.disk")
+        assert reader.stats.disk_errors == 1
+        assert got.slots == want.slots
+
+
+def test_persistent_disk_failures_degrade_to_memory(tmp_path):
+    from repro.resilience import guard
+
+    # Point the disk layer below a regular *file*: every load and every
+    # store fails with NotADirectoryError, which must trip the
+    # cache.disk_to_memory rung instead of failing forever.
+    blocker = tmp_path / "blocker.txt"
+    blocker.write_text("not a directory")
+    cache = AnalysisCache(cache_dir=blocker / "sub", max_disk_errors=2)
+    with guard.watching() as degs:
+        a = cache.analyze(prog(FIG3_T1, "t1"))
+    assert cache.cache_dir is None  # disk layer disabled...
+    assert cache.stats.disk_errors >= 2
+    assert any(d.rung == "cache.disk_to_memory" for d in degs)
+    # ...but the cache still works, memory-only.
+    assert cache.analyze(prog(FIG3_T1, "t1")) is a
+    assert cache.stats.hits == 1
+
+
 def test_pipeline_cached_matches_fresh():
     texts = [(MINI_KERNEL, "a"), (MINI_KERNEL, "b")]
     with scoped():

@@ -50,3 +50,52 @@ def test_truly_impossible_budget_still_raises():
         allocate_with_spill_fallback(
             kernels(2), nreg=3, max_spill_rounds=3
         )
+
+
+def test_no_progress_round_raises_with_original_name(monkeypatch):
+    # A spiller that returns no spills must fail fast in that round --
+    # naming the ORIGINAL program (spill rounds rewrite the working
+    # copy) and the round number -- not loop until max_spill_rounds.
+    from types import SimpleNamespace
+
+    import repro.baseline.chaitin as chaitin
+
+    def no_op_spiller(program, target, spill_base=0):
+        return program.copy(), None, SimpleNamespace(spilled=[])
+
+    monkeypatch.setattr(chaitin, "spill_until_colorable", no_op_spiller)
+    with pytest.raises(
+        AllocationError,
+        match=r"no progress on k0 in round 1/16",
+    ):
+        allocate_with_spill_fallback(kernels(2), nreg=8)
+
+
+def test_non_convergence_names_spilled_threads(monkeypatch):
+    # A spiller that claims progress but never lowers pressure must hit
+    # the round limit and report how much each original thread spilled.
+    from types import SimpleNamespace
+
+    import repro.baseline.chaitin as chaitin
+
+    def useless_spiller(program, target, spill_base=0):
+        return program.copy(), None, SimpleNamespace(spilled=["%sum"])
+
+    monkeypatch.setattr(chaitin, "spill_until_colorable", useless_spiller)
+    with pytest.raises(
+        AllocationError,
+        match=r"did not converge in 3 rounds.*k0",
+    ):
+        allocate_with_spill_fallback(kernels(2), nreg=8, max_spill_rounds=3)
+
+
+def test_floor_is_named_when_spilling_cannot_help():
+    # A thread already at its register floor cannot be relieved by
+    # spilling; the error names the thread and its floor immediately.
+    from tests.conftest import STRAIGHT
+
+    programs = [parse_program(STRAIGHT, f"s{i}") for i in range(2)]
+    with pytest.raises(
+        AllocationError, match=r"cannot reduce s0 below 2 registers"
+    ):
+        allocate_with_spill_fallback(programs, nreg=1, max_spill_rounds=4)

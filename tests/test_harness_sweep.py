@@ -1,12 +1,24 @@
 """Unit tests for the parallel sweep executor."""
 
+import functools
+import os
 import warnings
 
 from repro.harness.sweep import default_jobs, sweep_map
 from repro.obs import events
+from repro.resilience import faults, guard
+from repro.resilience.faults import FaultSpec
 
 
 def _square(x):
+    return x * x
+
+
+def _counted_square(tmp, x):
+    # Marker appends survive process boundaries, so the parent can count
+    # exactly how many times each item was invoked.
+    with open(os.path.join(tmp, f"{x}.count"), "a") as fh:
+        fh.write("1\n")
     return x * x
 
 
@@ -44,3 +56,37 @@ def test_unpicklable_falls_back_serially():
 
 def test_default_jobs_positive():
     assert default_jobs() >= 1
+
+
+def test_pool_crash_reruns_only_missing_items(tmp_path):
+    # An injected mid-harvest pool crash must not lose results, reorder
+    # them, or re-execute items whose futures already completed.
+    worker = functools.partial(_counted_square, str(tmp_path))
+    items = list(range(6))
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        with guard.watching() as degs:
+            with faults.inject(FaultSpec("sweep.pool", mode="crash")):
+                out = sweep_map(worker, items, jobs=2)
+    assert out == [x * x for x in items]
+    assert any(issubclass(w.category, RuntimeWarning) for w in caught)
+    assert any(d.rung == "sweep.parallel_to_serial" for d in degs)
+    for x in items:
+        invocations = (tmp_path / f"{x}.count").read_text().count("1")
+        assert invocations == 1, f"item {x} ran {invocations} times"
+
+
+def test_pool_hang_still_completes(tmp_path):
+    # A hung worker abandons the pool; in-flight items may legitimately
+    # run twice (pool + serial rerun), but every result must be present
+    # and correct, in order.
+    worker = functools.partial(_counted_square, str(tmp_path))
+    items = list(range(6))
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        with faults.inject(FaultSpec("sweep.pool", mode="hang")):
+            out = sweep_map(worker, items, jobs=2)
+    assert out == [x * x for x in items]
+    assert any(issubclass(w.category, RuntimeWarning) for w in caught)
+    for x in items:
+        assert (tmp_path / f"{x}.count").read_text().count("1") >= 1

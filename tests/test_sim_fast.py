@@ -265,6 +265,18 @@ def test_run_threads_fast_with_assignment_raises():
         run_threads([load("frag")], engine="fast", assignment=object())
 
 
+def test_create_machine_fast_conflicts_raise():
+    # The factory must reject the same fast-engine combinations the
+    # constructor does: trace, timeline, and paranoid assignment
+    # checking are reference-only features.
+    with pytest.raises(EngineError):
+        create_machine([load("frag")], "fast", trace=True)
+    with pytest.raises(EngineError):
+        create_machine([load("frag")], "fast", timeline=True)
+    with pytest.raises(EngineError):
+        create_machine([load("frag")], "fast", assignment=object())
+
+
 def test_run_threads_engines_agree():
     program = parse_program(MINI_KERNEL, "mini")
     ref = run_threads(

@@ -67,6 +67,31 @@ def test_shared_window_use_is_legal():
     machine.run()  # must not raise
 
 
+def test_misassigned_boundary_register_detected():
+    # A deliberately mis-assigned layout: the windows OVERLAP at $r1
+    # (thread 0 owns [0, 2), thread 1 owns [1, 3)), so a value thread 0
+    # holds across its context switch sits in a register thread 1 may
+    # legally write.  Each write passes the per-thread ownership check;
+    # only the snapshot comparison at resume can catch the clobber --
+    # exactly the corruption the paper's private/shared split prevents.
+    overlapping = RegisterAssignment(
+        maps=[
+            ThreadRegisterMap(0, 2, 1, 4),
+            ThreadRegisterMap(1, 2, 1, 4),
+        ],
+        shared_base=4,
+        sgr=1,
+        nreg=5,
+    )
+    a = parse_program(
+        "movi $r1, 7\nctx\nadd $r0, $r1, $r1\nhalt\n", "a"
+    )
+    b = parse_program("movi $r1, 9\nctx\nhalt\n", "b")
+    machine = Machine([a, b], nreg=5, assignment=overlapping)
+    with pytest.raises(SafetyViolation, match=r"\$r1"):
+        machine.run()
+
+
 def test_allocator_output_passes_paranoid_mode():
     programs = [parse_program(MINI_KERNEL, f"k{i}") for i in range(4)]
     out = allocate_programs(programs, nreg=24)
