@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import pathlib
+import time
 from typing import Any
 
 OUT_DIR = pathlib.Path(__file__).parent / "out"
@@ -14,13 +15,29 @@ def publish(name: str, text: str, data: Any = None) -> None:
     ``data``, when given, is additionally written as machine-readable
     ``benchmarks/out/BENCH_<name>.json`` (see
     :func:`repro.obs.export.bench_snapshot`) so each benchmark run leaves
-    a diffable trajectory snapshot next to the text artifact.
+    a diffable trajectory snapshot next to the text artifact -- and its
+    watched metrics are appended as one row to the run ledger
+    (``benchmarks/out/ledger.jsonl``, git-ignored), feeding the
+    ``repro bench trend`` regression sentinel.
     """
     OUT_DIR.mkdir(exist_ok=True)
     (OUT_DIR / f"{name}.txt").write_text(text + "\n")
     if data is not None:
-        from repro.obs.export import bench_snapshot
+        from repro.obs.export import bench_snapshot, to_jsonable
 
         bench_snapshot(name, data, OUT_DIR)
+        _ledger_append(name, to_jsonable(data))
     print()
     print(text)
+
+
+def _ledger_append(name: str, data: Any) -> None:
+    """Append this run's watched metrics to the run ledger (best effort)."""
+    from repro.harness.trend import watched_from_bench
+    from repro.obs import ledger
+
+    metrics = watched_from_bench(name, data)
+    if not metrics:
+        return
+    row = ledger.make_row(name, metrics, ts=time.time())
+    ledger.append(row, OUT_DIR / "ledger.jsonl")

@@ -19,10 +19,17 @@ Commands:
 ``encode FILE [-o OUT]``
     Assemble an allocated (physical-register) program to 64-bit machine
     words (hex, one per line).
-``bench {table1,table2,table3,fig14,perf,alloc,analysis} [--engine E]``
+``bench {table1,table2,table3,fig14,perf,alloc,analysis,trend} [--engine E]``
     Regenerate one of the paper's tables/figures, or the engine
     (``perf``) / allocation-pipeline (``alloc``) / cold-analysis
-    (``analysis``) throughput comparisons.
+    (``analysis``) throughput comparisons.  Every measuring experiment
+    appends a row to the run ledger (``--ledger PATH``, default
+    ``$REPRO_LEDGER`` or ``benchmarks/out/ledger.jsonl``); ``trend``
+    reads the ledger plus the committed ``BENCH_*.json`` snapshots and
+    renders the watched-metric trajectory report -- with ``--gate`` it
+    exits non-zero when a watched metric (sim speedup, warm-alloc
+    speedup, analysis speedup, cycle counts) regressed beyond the
+    noise-aware ``--threshold`` percentage.
 
 ``run``, ``profile``, and ``bench`` accept ``--engine
 {auto,fast,reference}`` to pick the execution engine
@@ -48,11 +55,14 @@ flag exists for benchmarking and differential testing.  The default is
 ``suite``
     List the built-in benchmark kernels with basic properties.
 
-``analyze``, ``allocate``, ``run``, and ``bench`` additionally accept
-``--metrics OUT.json`` (combined telemetry snapshot: phase timings,
-inter-allocator step trace, simulator cycle accounting, metric counters)
-and ``--trace-json OUT.jsonl`` (the raw structured event log, one JSON
-object per line).  See ``docs/OBSERVABILITY.md`` for the schemas.
+``analyze``, ``allocate``, ``run``, ``bench``, and ``chaos``
+additionally accept ``--metrics OUT.json`` (combined telemetry
+snapshot: phase timings, inter-allocator step trace, simulator cycle
+accounting, metric counters), ``--trace-json OUT.jsonl`` (the raw
+structured event log, one JSON object per line), ``--prom OUT.prom``
+(the metric registry in Prometheus text exposition format), and
+``--trace-chrome OUT.json`` (the span tree as Chrome trace-event JSON,
+loadable in Perfetto).  See ``docs/OBSERVABILITY.md`` for the schemas.
 
 Files are npir assembly; the special name ``bench:<name>`` loads a
 built-in benchmark instead (e.g. ``bench:md5``).
@@ -99,15 +109,25 @@ def _load_all(specs: Sequence[str]) -> List[Program]:
 
 @contextlib.contextmanager
 def _telemetry(args: argparse.Namespace) -> Iterator[None]:
-    """Capture telemetry around a command when ``--metrics`` or
-    ``--trace-json`` was given; write the files on the way out."""
+    """Capture telemetry around a command when any of ``--metrics``,
+    ``--trace-json``, ``--prom``, or ``--trace-chrome`` was given;
+    write the files on the way out."""
     metrics_path = getattr(args, "metrics", None)
     trace_path = getattr(args, "trace_json", None)
-    if not metrics_path and not trace_path:
+    prom_path = getattr(args, "prom", None)
+    chrome_path = getattr(args, "trace_chrome", None)
+    if not metrics_path and not trace_path and not prom_path \
+            and not chrome_path:
         yield
         return
     from repro.obs import events, metrics
-    from repro.obs.export import run_snapshot, write_json, write_jsonl
+    from repro.obs.export import (
+        run_snapshot,
+        write_chrome_trace,
+        write_json,
+        write_jsonl,
+        write_prometheus,
+    )
 
     try:
         with metrics.scoped() as registry, events.capture() as emitter:
@@ -126,6 +146,12 @@ def _telemetry(args: argparse.Namespace) -> Iterator[None]:
         if metrics_path:
             out = write_json(metrics_path, run_snapshot(emitter, registry))
             print(f"wrote telemetry snapshot to {out}", file=sys.stderr)
+        if prom_path:
+            out = write_prometheus(prom_path, registry.snapshot())
+            print(f"wrote Prometheus metrics to {out}", file=sys.stderr)
+        if chrome_path:
+            out = write_chrome_trace(chrome_path, emitter)
+            print(f"wrote Chrome trace to {out}", file=sys.stderr)
 
 
 def cmd_analyze(args: argparse.Namespace) -> int:
@@ -286,9 +312,134 @@ def cmd_encode(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_bench_experiment(args: argparse.Namespace):
+    """Run one bench experiment; returns ``(rendered text, data)`` where
+    ``data`` matches the shape of the bench's ``BENCH_*.json`` payload
+    (what the ledger's watched-metric extraction understands)."""
+    if args.experiment == "table1":
+        from repro.harness.table1 import render_table1, run_table1
+
+        rows = run_table1(jobs=args.jobs)
+        return render_table1(rows), [r.to_dict() for r in rows]
+    if args.experiment == "table2":
+        from repro.harness.table2 import render_table2, run_table2
+
+        rows = run_table2(jobs=args.jobs)
+        return render_table2(rows), [r.to_dict() for r in rows]
+    if args.experiment == "table3":
+        from repro.harness.table3 import render_table3, run_table3
+
+        scenarios = run_table3(jobs=args.jobs)
+        return render_table3(scenarios), [s.to_dict() for s in scenarios]
+    if args.experiment == "perf":
+        from repro.harness.perf import render_perf, run_perf, summarize_perf
+
+        rows = run_perf()
+        return render_perf(rows), {
+            "rows": [r.to_dict() for r in rows],
+            "summary": summarize_perf(rows),
+        }
+    if args.experiment == "alloc":
+        from repro.harness.allocperf import render_alloc, run_alloc_bench
+
+        report = run_alloc_bench(jobs=args.jobs or None)
+        return render_alloc(report), report.to_dict()
+    if args.experiment == "analysis":
+        from repro.harness.analysisperf import (
+            render_analysis,
+            run_analysis_bench,
+        )
+
+        report = run_analysis_bench()
+        return render_analysis(report), report.to_dict()
+    from repro.harness.fig14 import render_fig14, run_fig14
+
+    rows = run_fig14(jobs=args.jobs)
+    return render_fig14(rows), [r.to_dict() for r in rows]
+
+
+def _bench_ledger_path(args: argparse.Namespace):
+    """Resolve the ledger path for ``repro bench``: the ``--ledger``
+    flag wins; otherwise the default (``$REPRO_LEDGER`` or
+    ``benchmarks/out/ledger.jsonl``) -- but only when its parent
+    directory already exists, so running ``repro bench`` outside the
+    repo does not scatter ``benchmarks/`` trees around."""
+    from repro.obs import ledger
+
+    explicit = getattr(args, "ledger", None)
+    if explicit:
+        return pathlib.Path(explicit)
+    path = ledger.default_path()
+    return path if path.parent.is_dir() else None
+
+
+def _append_bench_ledger(args: argparse.Namespace, data) -> None:
+    """Append one run-ledger row for a finished bench experiment."""
+    import time
+
+    from repro.harness.trend import watched_from_bench
+    from repro.obs import ledger
+    from repro.obs.export import to_jsonable
+
+    path = _bench_ledger_path(args)
+    if path is None:
+        return
+    watched = watched_from_bench(args.experiment, to_jsonable(data))
+    row = ledger.make_row(
+        args.experiment,
+        watched,
+        config={
+            "engine": args.engine,
+            "jobs": args.jobs,
+            "analysis_impl": getattr(args, "analysis_impl", None),
+        },
+        fingerprints=_suite_fingerprints(),
+        ts=time.time(),
+    )
+    out = ledger.append(row, path)
+    print(f"appended {args.experiment} ledger row to {out}", file=sys.stderr)
+
+
+def _suite_fingerprints() -> List[str]:
+    """Content fingerprints of the built-in suite kernels (what every
+    bench experiment measures), for the ledger row's identity."""
+    return [load(name).fingerprint() for name in BENCHMARKS]
+
+
+def _cmd_bench_trend(args: argparse.Namespace) -> int:
+    from repro.harness.trend import render_trend, run_trend, trend_report
+    from repro.obs import ledger
+    from repro.obs.export import write_json
+
+    ledger_path = getattr(args, "ledger", None) or ledger.default_path()
+    out_dir = pathlib.Path("benchmarks") / "out"
+    trends = run_trend(
+        ledger_path=ledger_path,
+        out_dir=out_dir,
+        threshold_pct=args.threshold,
+    )
+    print(render_trend(trends))
+    report = trend_report(trends, args.threshold)
+    report_path = getattr(args, "report", None)
+    if report_path is None and out_dir.is_dir():
+        report_path = out_dir / "TREND.json"
+    if report_path:
+        out = write_json(report_path, report)
+        print(f"wrote trend report to {out}", file=sys.stderr)
+    if args.gate and report["regressions"]:
+        print(
+            f"trend gate FAILED: {', '.join(report['regressions'])}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def cmd_bench(args: argparse.Namespace) -> int:
     from repro.sim.engine import set_default_engine
 
+    if args.experiment == "trend":
+        return _cmd_bench_trend(args)
     # Harness-wide engine preference: the harnesses call run_threads()
     # many times without an explicit engine, so route the choice
     # through the process default (restored on the way out).  Runs that
@@ -298,39 +449,11 @@ def cmd_bench(args: argparse.Namespace) -> int:
     _apply_analysis_impl(args)
     previous = set_default_engine(args.engine)
     try:
-        if args.experiment == "table1":
-            from repro.harness.table1 import render_table1, run_table1
-
-            print(render_table1(run_table1(jobs=args.jobs)))
-        elif args.experiment == "table2":
-            from repro.harness.table2 import render_table2, run_table2
-
-            print(render_table2(run_table2(jobs=args.jobs)))
-        elif args.experiment == "table3":
-            from repro.harness.table3 import render_table3, run_table3
-
-            print(render_table3(run_table3(jobs=args.jobs)))
-        elif args.experiment == "perf":
-            from repro.harness.perf import render_perf, run_perf
-
-            print(render_perf(run_perf()))
-        elif args.experiment == "alloc":
-            from repro.harness.allocperf import render_alloc, run_alloc_bench
-
-            print(render_alloc(run_alloc_bench(jobs=args.jobs or None)))
-        elif args.experiment == "analysis":
-            from repro.harness.analysisperf import (
-                render_analysis,
-                run_analysis_bench,
-            )
-
-            print(render_analysis(run_analysis_bench()))
-        else:
-            from repro.harness.fig14 import render_fig14, run_fig14
-
-            print(render_fig14(run_fig14(jobs=args.jobs)))
+        text, data = _run_bench_experiment(args)
     finally:
         set_default_engine(previous)
+    print(text)
+    _append_bench_ledger(args, data)
     return 0
 
 
@@ -439,6 +562,19 @@ def _add_obs_flags(p: argparse.ArgumentParser) -> None:
         dest="trace_json",
         help="write the raw structured event log as JSON Lines",
     )
+    p.add_argument(
+        "--prom",
+        metavar="OUT.prom",
+        help="write the metric registry in Prometheus text exposition "
+        "format (histograms as _bucket/_sum/_count)",
+    )
+    p.add_argument(
+        "--trace-chrome",
+        metavar="OUT.json",
+        dest="trace_chrome",
+        help="write the span tree as Chrome trace-event JSON "
+        "(chrome://tracing, Perfetto)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -514,7 +650,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-o", "--output")
     p.set_defaults(func=cmd_encode)
 
-    p = sub.add_parser("bench", help="regenerate a paper table/figure")
+    p = sub.add_parser(
+        "bench",
+        help="regenerate a paper table/figure or run the trend sentinel",
+    )
     p.add_argument(
         "experiment",
         choices=[
@@ -525,12 +664,39 @@ def build_parser() -> argparse.ArgumentParser:
             "perf",
             "alloc",
             "analysis",
+            "trend",
         ],
     )
     _add_engine_flag(p)
     _add_analysis_flag(p)
     _add_obs_flags(p)
     _add_perf_flags(p)
+    p.add_argument(
+        "--ledger",
+        metavar="PATH",
+        help="run-ledger JSONL file to append to / read trends from "
+        "(default: $REPRO_LEDGER or benchmarks/out/ledger.jsonl)",
+    )
+    p.add_argument(
+        "--gate",
+        action="store_true",
+        help="trend only: exit non-zero when a watched metric regressed",
+    )
+    p.add_argument(
+        "--threshold",
+        type=float,
+        default=10.0,
+        metavar="PCT",
+        help="trend only: regression threshold in percent vs the median "
+        "baseline; widened automatically when the history is noisier "
+        "(default: 10)",
+    )
+    p.add_argument(
+        "--report",
+        metavar="OUT.json",
+        help="trend only: where to write the JSON trend report "
+        "(default: benchmarks/out/TREND.json when that directory exists)",
+    )
     p.set_defaults(func=cmd_bench)
 
     p = sub.add_parser(
@@ -551,6 +717,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--json", metavar="OUT.json", help="write the chaos report as JSON"
     )
+    _add_obs_flags(p)
     p.set_defaults(func=cmd_chaos)
 
     p = sub.add_parser("suite", help="list built-in benchmarks")

@@ -201,8 +201,10 @@ class AnalysisCache:
                 _analyze_worker, list(missing.values()), jobs=jobs,
                 label="analyze",
             )
-            for fp, (analysis, bounds) in zip(missing, pairs):
-                self._count_miss(fp)
+            for (fp, program), (analysis, bounds) in zip(
+                missing.items(), pairs
+            ):
+                self._count_miss(fp, program.name)
                 entry = _Entry(analysis, bounds)
                 self._insert(fp, entry)
                 self._disk_store(fp, entry)
@@ -225,31 +227,37 @@ class AnalysisCache:
     # ------------------------------------------------------------------
     # Internals.
     # ------------------------------------------------------------------
-    def _note(self, event: str, fp: str) -> None:
+    def _note(self, event: str, fp: str, kernel: Optional[str] = None) -> None:
         em = obs.get_emitter()
         if em.enabled:
-            em.emit(event, fingerprint=fp[:12])
-            obs_metrics.registry().counter(event).inc()
+            if kernel is None:
+                em.emit(event, fingerprint=fp[:12])
+            else:
+                em.emit(event, fingerprint=fp[:12], kernel=kernel)
+            reg = obs_metrics.registry()
+            reg.counter(event).inc()
+            if kernel is not None:
+                reg.counter(event, kernel=kernel).inc()
 
-    def _count_miss(self, fp: str) -> None:
+    def _count_miss(self, fp: str, kernel: Optional[str] = None) -> None:
         self.stats.misses += 1
-        self._note("cache.miss", fp)
+        self._note("cache.miss", fp, kernel)
 
     def _entry(self, fp: str, program: Program) -> _Entry:
         entry = self._entries.get(fp)
         if entry is not None:
             self._entries.move_to_end(fp)
             self.stats.hits += 1
-            self._note("cache.hit", fp)
+            self._note("cache.hit", fp, program.name)
             return entry
         entry = self._disk_load(fp)
         if entry is not None:
             self.stats.hits += 1
             self.stats.disk_hits += 1
-            self._note("cache.hit", fp)
+            self._note("cache.hit", fp, program.name)
             self._insert(fp, entry)
             return entry
-        self._count_miss(fp)
+        self._count_miss(fp, program.name)
         entry = _Entry(_analyze_resilient(program), None)
         self._insert(fp, entry)
         self._disk_store(fp, entry)

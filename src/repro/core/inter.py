@@ -288,7 +288,7 @@ def allocate_threads(
             )
             assert reg is not None
             reg.counter("inter.steps").inc()
-            reg.counter(f"inter.steps.{kind}").inc()
+            reg.counter("inter.steps", kind=kind).inc()
             reg.histogram("inter.step_delta").observe(delta)
     else:
         if em.enabled:

@@ -75,11 +75,18 @@ class IntraAllocator:
         )
 
     def _note(self, event: str, **fields: object) -> None:
-        """Telemetry for one allocation decision (no-op when disabled)."""
+        """Telemetry for one allocation decision (no-op when disabled).
+
+        Counts both the plain total and a per-thread labeled series, so
+        decisions can be sliced by the kernel that paid for them.
+        """
         em = obs.get_emitter()
         if em.enabled:
-            em.emit(event, thread=self.analysis.program.name, **fields)
-            obs_metrics.registry().counter(event).inc()
+            name = self.analysis.program.name
+            em.emit(event, thread=name, **fields)
+            reg = obs_metrics.registry()
+            reg.counter(event).inc()
+            reg.counter(event, thread=name).inc()
 
     # ------------------------------------------------------------------
     # Public operations.

@@ -10,8 +10,10 @@ for the experiment harnesses.
 
 from __future__ import annotations
 
+import contextlib
+import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Iterator, List, Optional, Sequence
 
 from repro.core.analysis import ThreadAnalysis
 from repro.core.assign import RegisterAssignment, assign_physical
@@ -22,9 +24,33 @@ from repro.errors import AllocationError, TransientError
 from repro.ir.program import Program
 from repro.ir.validate import validate_program
 from repro.obs import events as obs
+from repro.obs import metrics as obs_metrics
 from repro.resilience import deadline as dl
 from repro.resilience import faults, guard
 from repro.resilience.deadline import Deadline
+
+
+@contextlib.contextmanager
+def _phase(em, name: str, **fields) -> Iterator[None]:
+    """An ``em.span`` that also feeds the per-phase timing histogram.
+
+    Phase durations are sub-millisecond for small PUs, so the histogram
+    uses the fractional :data:`~repro.obs.metrics.TIMING_BUCKETS` rather
+    than the integer-oriented default bounds.
+    """
+    if not em.enabled:
+        yield
+        return
+    start = time.perf_counter()
+    try:
+        with em.span(name, **fields):
+            yield
+    finally:
+        obs_metrics.registry().histogram(
+            "alloc.phase_seconds",
+            bounds=obs_metrics.TIMING_BUCKETS,
+            phase=name,
+        ).observe(time.perf_counter() - start)
 
 
 @dataclass
@@ -105,28 +131,30 @@ def allocate_programs(
     """
     cache = get_cache()
     em = obs.get_emitter()
-    with em.span("allocate", threads=len(programs), nreg=nreg, policy=policy):
+    with _phase(
+        em, "allocate", threads=len(programs), nreg=nreg, policy=policy
+    ):
         dl.check(deadline, "validate")
-        with em.span("validate"):
+        with _phase(em, "validate"):
             for program in programs:
                 validate_program(program, check_init=check_init)
         dl.check(deadline, "analyze")
-        with em.span("analyze"):
+        with _phase(em, "analyze"):
             analyses = guard.retry_transient(
                 lambda: _analyze_all(cache, programs, jobs),
                 label="pipeline.analyze",
             )
         dl.check(deadline, "bounds")
-        with em.span("bounds"):
+        with _phase(em, "bounds"):
             bounds = [cache.bounds(p) for p in programs]
         dl.check(deadline, "inter")
-        with em.span("inter"):
+        with _phase(em, "inter"):
             inter = allocate_threads(analyses, nreg, policy=policy, bounds=bounds)
         dl.check(deadline, "assign")
-        with em.span("assign"):
+        with _phase(em, "assign"):
             assignment = assign_physical(inter)
         dl.check(deadline, "rewrite")
-        with em.span("rewrite"):
+        with _phase(em, "rewrite"):
             rewritten = [
                 rewrite_program(t.analysis, t.context, m)
                 for t, m in zip(inter.threads, assignment.maps)

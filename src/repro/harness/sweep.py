@@ -97,6 +97,37 @@ def _note_fallback(label: str, reason: str, missing: int) -> None:
         obs_metrics.registry().counter("sweep.fallback").inc()
 
 
+class _TelemetryTask:
+    """Picklable worker wrapper that ships telemetry back to the parent.
+
+    Child processes start with a fresh (empty, disabled) telemetry
+    state, so whatever a worker records would normally die with the
+    worker.  When the parent has an active emitter, :func:`sweep_map`
+    wraps ``fn`` in this task: the child runs under its own scoped
+    registry **and** an active capture emitter -- so the worker takes
+    the same instrumented code paths the parent would serially (engine
+    auto-selection included) -- and returns ``(result, snapshot)``.
+    The parent merges the snapshot into its own registry labeled by
+    sweep and item index (``{sweep="...",item="N"}``).
+    """
+
+    __slots__ = ("fn",)
+
+    def __init__(self, fn: Callable[[T], R]):
+        self.fn = fn
+
+    def __call__(self, item: T):
+        with obs_metrics.scoped() as reg, obs.capture():
+            result = self.fn(item)
+        return result, reg.snapshot()
+
+
+def _merge_worker_snapshot(label: str, index: int, snap: dict) -> None:
+    obs_metrics.registry().merge_snapshot(
+        snap, labels={"sweep": label, "item": index}
+    )
+
+
 def _fire_pool_fault() -> None:
     """Parent-side ``sweep.pool`` fault site (consulted per harvested
     result): simulate the pool breaking or a worker hanging."""
@@ -138,16 +169,29 @@ def sweep_map(
         _note_fallback(label, f"{type(exc).__name__}: {exc}", len(items))
         return [fn(item) for item in items]
 
+    # With an active parent emitter, ship each worker's metrics home
+    # (see _TelemetryTask); the serial fallback path below calls the
+    # bare ``fn``, which records into the parent registry directly.
+    telemetry = obs.get_emitter().enabled
+    task: Callable = _TelemetryTask(fn) if telemetry else fn
+
+    def harvest(i: int, raw) -> R:
+        if telemetry:
+            result, snap = raw
+            _merge_worker_snapshot(label, i, snap)
+            return result
+        return raw
+
     pool = None
     futures: dict = {}
     try:
         pool = ProcessPoolExecutor(max_workers=min(jobs, len(items)))
         futures = {
-            pool.submit(fn, item): i for i, item in enumerate(items)
+            pool.submit(task, item): i for i, item in enumerate(items)
         }
         for future in as_completed(futures, timeout=timeout):
             i = futures[future]
-            results[i] = future.result()  # application errors re-raise
+            results[i] = harvest(i, future.result())  # errors re-raise
             done[i] = True
             _fire_pool_fault()
         pool.shutdown(wait=True)
@@ -166,7 +210,7 @@ def sweep_map(
             if done[i] or not future.done() or future.cancelled():
                 continue
             try:
-                results[i] = future.result(timeout=0)
+                results[i] = harvest(i, future.result(timeout=0))
                 done[i] = True
             except BaseException:
                 pass  # rerun it serially below

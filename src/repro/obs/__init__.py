@@ -12,15 +12,20 @@ Layers:
   (wall-clock timed), captured by installing an :class:`Emitter`;
 * :mod:`repro.obs.metrics` -- counters / gauges / histograms in a
   process-global registry with a JSON-ready ``snapshot()``;
-* :mod:`repro.obs.export` -- JSON / JSONL writers plus the combined
-  ``run_snapshot`` document the CLI's ``--metrics`` flag produces and the
-  ``BENCH_*.json`` benchmark-trajectory snapshots;
+* :mod:`repro.obs.export` -- JSON / JSONL writers, the combined
+  ``run_snapshot`` document the CLI's ``--metrics`` flag produces, the
+  ``BENCH_*.json`` benchmark-trajectory snapshots, and the standard
+  exporters (Prometheus text exposition, Chrome trace-event JSON);
+* :mod:`repro.obs.ledger` -- the append-only JSONL run ledger that
+  accumulates benchmark measurements across runs (read by the
+  ``repro bench trend`` regression sentinel);
 * :mod:`repro.obs.profile` -- one-call wall-time + allocation-decision
   profiling harness behind ``repro profile``.
 
-See ``docs/OBSERVABILITY.md`` for the event schema and metric names.
+See ``docs/OBSERVABILITY.md`` for the event schema, metric names, and
+the label conventions.
 """
 
-from repro.obs import events, export, metrics, profile
+from repro.obs import events, export, ledger, metrics, profile
 
-__all__ = ["events", "export", "metrics", "profile"]
+__all__ = ["events", "export", "ledger", "metrics", "profile"]

@@ -12,6 +12,22 @@ Naming convention (see ``docs/OBSERVABILITY.md``): dotted lowercase
     registry().counter("inter.steps").inc()
     registry().histogram("inter.step_delta").observe(delta)
 
+Metrics optionally carry **labels** -- a small set of key/value pairs
+passed as keyword arguments -- so one metric name becomes a family of
+independent series that can be sliced after the fact::
+
+    registry().counter("inter.steps", kind="pr").inc()
+    registry().counter("sim.thread.busy_cycles", thread=2, kernel="md5").inc(n)
+
+Label handling is deterministic: keys are sorted, values stringified,
+and the snapshot key is the Prometheus-style ``name{k="v",...}`` form
+(:func:`format_key` / :func:`parse_key` round-trip it).  Unlabeled call
+sites are unchanged -- ``counter("x")`` is the same series it always
+was -- and ``snapshot()`` ordering stays stable (plain string sort over
+the full keys).  The conventional label keys are ``kernel``, ``engine``,
+``thread``, ``impl``, ``site``, ``phase``, ``kind``, and (for merged
+sweep-worker snapshots) ``item``.
+
 Tests and profilers that need isolation swap the global registry with
 :func:`scoped` instead of resetting shared state they don't own.
 """
@@ -19,7 +35,16 @@ Tests and profilers that need isolation swap the global registry with
 from __future__ import annotations
 
 from contextlib import contextmanager
-from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import (
+    Any,
+    Dict,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 #: Default histogram bucket upper bounds (values above the last bound land
 #: in the overflow bucket).  Roughly log-spaced: decision costs, segment
@@ -28,14 +53,99 @@ DEFAULT_BUCKETS: Tuple[float, ...] = (
     0, 1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 10_000, 100_000,
 )
 
+#: Bucket bounds for *wall-clock seconds*.  :data:`DEFAULT_BUCKETS`
+#: starts at ``0, 1, 2, ...``, so every sub-second observation -- which
+#: is all of them, for span and phase timings -- collapses into one
+#: bucket.  These fractional bounds resolve from 100 microseconds up to
+#: a minute; pass them (or any per-histogram override) as the ``bounds``
+#: argument of :meth:`MetricsRegistry.histogram`.
+TIMING_BUCKETS: Tuple[float, ...] = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+    0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0,
+)
+
+#: A normalized label set: sorted key/value string pairs.
+LabelPairs = Tuple[Tuple[str, str], ...]
+
+
+def _escape_label_value(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _unescape_label_value(value: str) -> str:
+    out: List[str] = []
+    it = iter(value)
+    for ch in it:
+        if ch != "\\":
+            out.append(ch)
+            continue
+        nxt = next(it, "")
+        out.append("\n" if nxt == "n" else nxt)
+    return "".join(out)
+
+
+def normalize_labels(labels: Mapping[str, Any]) -> LabelPairs:
+    """Sorted ``(key, str(value))`` pairs -- the canonical label form."""
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def format_key(name: str, labels: LabelPairs = ()) -> str:
+    """The snapshot key: ``name`` or ``name{k="v",...}`` (keys sorted)."""
+    if not labels:
+        return name
+    inner = ",".join(
+        f'{k}="{_escape_label_value(v)}"' for k, v in labels
+    )
+    return f"{name}{{{inner}}}"
+
+
+def parse_key(key: str) -> Tuple[str, LabelPairs]:
+    """Invert :func:`format_key`; plain names come back with ``()``."""
+    brace = key.find("{")
+    if brace < 0:
+        return key, ()
+    if not key.endswith("}"):
+        raise ValueError(f"malformed metric key {key!r}")
+    name = key[:brace]
+    inner = key[brace + 1:-1]
+    pairs: List[Tuple[str, str]] = []
+    i = 0
+    while i < len(inner):
+        eq = inner.index("=", i)
+        label = inner[i:eq]
+        if inner[eq + 1] != '"':
+            raise ValueError(f"malformed metric key {key!r}")
+        j = eq + 2
+        raw: List[str] = []
+        while j < len(inner):
+            ch = inner[j]
+            if ch == "\\":
+                raw.append(inner[j:j + 2])
+                j += 2
+                continue
+            if ch == '"':
+                break
+            raw.append(ch)
+            j += 1
+        else:
+            raise ValueError(f"malformed metric key {key!r}")
+        pairs.append((label, _unescape_label_value("".join(raw))))
+        i = j + 1
+        if i < len(inner) and inner[i] == ",":
+            i += 1
+    return name, tuple(pairs)
+
 
 class Counter:
     """A monotonically increasing count."""
 
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "labels", "value")
 
-    def __init__(self, name: str):
+    def __init__(self, name: str, labels: LabelPairs = ()):
         self.name = name
+        self.labels = labels
         self.value = 0
 
     def inc(self, n: int = 1) -> None:
@@ -45,10 +155,11 @@ class Counter:
 class Gauge:
     """A point-in-time value (last write wins)."""
 
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "labels", "value")
 
-    def __init__(self, name: str):
+    def __init__(self, name: str, labels: LabelPairs = ()):
         self.name = name
+        self.labels = labels
         self.value: float = 0.0
 
     def set(self, value: float) -> None:
@@ -58,10 +169,19 @@ class Gauge:
 class Histogram:
     """A distribution: count/sum/min/max plus fixed cumulative buckets."""
 
-    __slots__ = ("name", "bounds", "bucket_counts", "count", "total", "min", "max")
+    __slots__ = (
+        "name", "labels", "bounds", "bucket_counts", "count", "total",
+        "min", "max",
+    )
 
-    def __init__(self, name: str, bounds: Sequence[float] = DEFAULT_BUCKETS):
+    def __init__(
+        self,
+        name: str,
+        bounds: Sequence[float] = DEFAULT_BUCKETS,
+        labels: LabelPairs = (),
+    ):
         self.name = name
+        self.labels = labels
         self.bounds: Tuple[float, ...] = tuple(bounds)
         self.bucket_counts: List[int] = [0] * (len(self.bounds) + 1)
         self.count = 0
@@ -99,6 +219,40 @@ class Histogram:
             },
         }
 
+    def merge(self, snap: Mapping[str, Any]) -> None:
+        """Fold another histogram's :meth:`snapshot` into this one.
+
+        Used to merge sweep-worker registries back into the parent; the
+        snapshot must have the same bucket layout.
+        """
+        buckets = snap["buckets"]
+        if len(buckets) != len(self.bucket_counts):
+            raise ValueError(
+                f"histogram {self.name!r}: cannot merge snapshot with "
+                f"{len(buckets)} buckets into {len(self.bucket_counts)}"
+            )
+        for i, c in enumerate(buckets.values()):
+            self.bucket_counts[i] += c
+        self.count += snap["count"]
+        self.total += snap["sum"]
+        if snap["min"] is not None:
+            self.min = snap["min"] if self.min is None else min(
+                self.min, snap["min"]
+            )
+        if snap["max"] is not None:
+            self.max = snap["max"] if self.max is None else max(
+                self.max, snap["max"]
+            )
+
+
+def _parse_bound(text: str) -> float:
+    """A bucket key back to its numeric bound, preserving int-ness so
+    re-snapshotting produces the exact same key strings."""
+    try:
+        return int(text)
+    except ValueError:
+        return float(text)
+
 
 class MetricsRegistry:
     """Process-wide named metrics with get-or-create accessors."""
@@ -109,41 +263,84 @@ class MetricsRegistry:
         self._histograms: Dict[str, Histogram] = {}
 
     # ------------------------------------------------------------------
-    def counter(self, name: str) -> Counter:
-        c = self._counters.get(name)
+    def counter(self, name: str, **labels: Any) -> Counter:
+        pairs = normalize_labels(labels) if labels else ()
+        key = format_key(name, pairs)
+        c = self._counters.get(key)
         if c is None:
-            c = self._counters[name] = Counter(name)
+            c = self._counters[key] = Counter(name, pairs)
         return c
 
-    def gauge(self, name: str) -> Gauge:
-        g = self._gauges.get(name)
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        pairs = normalize_labels(labels) if labels else ()
+        key = format_key(name, pairs)
+        g = self._gauges.get(key)
         if g is None:
-            g = self._gauges[name] = Gauge(name)
+            g = self._gauges[key] = Gauge(name, pairs)
         return g
 
     def histogram(
-        self, name: str, bounds: Sequence[float] = DEFAULT_BUCKETS
+        self,
+        name: str,
+        bounds: Sequence[float] = DEFAULT_BUCKETS,
+        **labels: Any,
     ) -> Histogram:
-        h = self._histograms.get(name)
+        pairs = normalize_labels(labels) if labels else ()
+        key = format_key(name, pairs)
+        h = self._histograms.get(key)
         if h is None:
-            h = self._histograms[name] = Histogram(name, bounds)
+            h = self._histograms[key] = Histogram(name, bounds, pairs)
         return h
 
     # ------------------------------------------------------------------
     def snapshot(self) -> Dict[str, Any]:
-        """JSON-ready view of every metric (sorted for diffability)."""
+        """JSON-ready view of every metric (sorted for diffability).
+
+        Labeled series appear under their ``name{k="v",...}`` key right
+        after (string sort) the plain ``name`` series, so the ordering
+        is stable run to run regardless of creation order.
+        """
         return {
             "counters": {
-                name: c.value for name, c in sorted(self._counters.items())
+                key: c.value for key, c in sorted(self._counters.items())
             },
             "gauges": {
-                name: g.value for name, g in sorted(self._gauges.items())
+                key: g.value for key, g in sorted(self._gauges.items())
             },
             "histograms": {
-                name: h.snapshot()
-                for name, h in sorted(self._histograms.items())
+                key: h.snapshot()
+                for key, h in sorted(self._histograms.items())
             },
         }
+
+    def merge_snapshot(
+        self,
+        snap: Mapping[str, Any],
+        labels: Optional[Mapping[str, Any]] = None,
+    ) -> None:
+        """Fold a :meth:`snapshot` document into this registry.
+
+        Counters add, gauges last-write-win, histograms merge bucket by
+        bucket.  ``labels``, when given, are appended to every merged
+        series (existing snapshot labels are kept) -- this is how sweep
+        workers' registries come home labeled by item, see
+        :func:`repro.harness.sweep.sweep_map`.
+        """
+        extra = dict(labels) if labels else {}
+        for key, value in snap.get("counters", {}).items():
+            name, pairs = parse_key(key)
+            self.counter(name, **{**dict(pairs), **extra}).inc(value)
+        for key, value in snap.get("gauges", {}).items():
+            name, pairs = parse_key(key)
+            self.gauge(name, **{**dict(pairs), **extra}).set(value)
+        for key, hsnap in snap.get("histograms", {}).items():
+            name, pairs = parse_key(key)
+            bounds = tuple(
+                _parse_bound(b) for b in hsnap["buckets"] if b != "+inf"
+            )
+            self.histogram(
+                name, bounds, **{**dict(pairs), **extra}
+            ).merge(hsnap)
 
     def reset(self) -> None:
         """Drop every metric (names included, so types can change)."""

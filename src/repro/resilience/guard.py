@@ -134,8 +134,8 @@ def record_degradation(rung: str, reason: str, **context: Any) -> Degradation:
     """Record that ``rung`` was taken; returns the typed record.
 
     Appends to the process-global log (see :func:`degradations`) and
-    emits a ``resilience.degrade`` event plus a per-rung metric counter
-    when telemetry is active.  ``rung`` must name a :data:`LADDER` row.
+    emits a ``resilience.degrade`` event plus a ``site=<rung>``-labeled
+    metric counter when telemetry is active.  ``rung`` must name a :data:`LADDER` row.
     """
     if rung not in _RUNG_NAMES:
         raise ValueError(
@@ -154,7 +154,7 @@ def record_degradation(rung: str, reason: str, **context: Any) -> Degradation:
         em.emit("resilience.degrade", **record.to_dict())
         reg = obs_metrics.registry()
         reg.counter("resilience.degrade").inc()
-        reg.counter(f"resilience.degrade.{rung}").inc()
+        reg.counter("resilience.degrade", site=rung).inc()
     return record
 
 

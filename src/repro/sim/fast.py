@@ -44,6 +44,8 @@ from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.errors import EngineError, SimulationError, WatchdogError
 from repro.ir.program import Program
+from repro.obs import events as obs
+from repro.obs import metrics as obs_metrics
 from repro.resilience import faults
 from repro.sim import decode as dc
 from repro.sim.machine import ThreadContext
@@ -839,6 +841,35 @@ class FastMachine:
             names = self._decoded[tid].vreg_names
             if names:
                 thread.vregs.update(zip(names, self._vfiles[tid]))
+        em = obs.get_emitter()
+        if em.enabled:
+            # Mirror the reference engine's run counters (machine.py) so
+            # the labeled series compare across engines; totals stay
+            # engine-agnostic.
+            reg = obs_metrics.registry()
+            reg.counter("sim.runs").inc()
+            reg.counter("sim.runs", engine="fast").inc()
+            reg.counter("sim.cycles").inc(cycle)
+            reg.counter("sim.cycles", engine="fast").inc(cycle)
+            reg.counter("sim.idle_cycles").inc(idle)
+            reg.counter("sim.switch_cycles").inc(switch)
+            for thread in threads:
+                labels = {
+                    "thread": thread.tid,
+                    "kernel": thread.program.name,
+                    "engine": "fast",
+                }
+                st = thread.stats
+                reg.counter("sim.thread.busy_cycles", **labels).inc(
+                    st.busy_cycles
+                )
+                reg.counter("sim.thread.instructions", **labels).inc(
+                    st.instructions
+                )
+                reg.counter("sim.thread.iterations", **labels).inc(
+                    st.iterations
+                )
+                reg.counter("sim.thread.switches", **labels).inc(st.switches)
         return MachineStats(
             cycles=cycle,
             idle_cycles=idle,

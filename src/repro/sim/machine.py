@@ -370,9 +370,28 @@ class Machine:
             em.emit("sim.accounting", **acct)
             reg = obs_metrics.registry()
             reg.counter("sim.runs").inc()
+            reg.counter("sim.runs", engine="reference").inc()
             reg.counter("sim.cycles").inc(stats.cycles)
+            reg.counter("sim.cycles", engine="reference").inc(stats.cycles)
             reg.counter("sim.idle_cycles").inc(stats.idle_cycles)
             reg.counter("sim.switch_cycles").inc(stats.switch_cycles)
+            for t in self.threads:
+                labels = {
+                    "thread": t.tid,
+                    "kernel": t.program.name,
+                    "engine": "reference",
+                }
+                ts = t.stats
+                reg.counter("sim.thread.busy_cycles", **labels).inc(
+                    ts.busy_cycles
+                )
+                reg.counter("sim.thread.instructions", **labels).inc(
+                    ts.instructions
+                )
+                reg.counter("sim.thread.iterations", **labels).inc(
+                    ts.iterations
+                )
+                reg.counter("sim.thread.switches", **labels).inc(ts.switches)
             for seg in self.timeline:
                 em.emit(
                     "sim.segment",

@@ -5,12 +5,20 @@ import os
 import warnings
 
 from repro.harness.sweep import default_jobs, sweep_map
-from repro.obs import events
+from repro.obs import events, metrics
 from repro.resilience import faults, guard
 from repro.resilience.faults import FaultSpec
 
 
 def _square(x):
+    return x * x
+
+
+def _metered_square(x):
+    reg = metrics.registry()
+    reg.counter("sweep_test.calls").inc()
+    reg.counter("sweep_test.calls", kind="even" if x % 2 == 0 else "odd").inc()
+    reg.histogram("sweep_test.values").observe(x)
     return x * x
 
 
@@ -74,6 +82,50 @@ def test_pool_crash_reruns_only_missing_items(tmp_path):
     for x in items:
         invocations = (tmp_path / f"{x}.count").read_text().count("1")
         assert invocations == 1, f"item {x} ran {invocations} times"
+
+
+def test_worker_telemetry_merges_into_parent_registry():
+    # Child-process metrics normally die with the worker; under an
+    # active parent capture they must come home, labeled by sweep+item.
+    with metrics.scoped() as reg, events.capture():
+        out = sweep_map(_metered_square, [0, 1, 2], jobs=2, label="sq")
+    assert out == [0, 1, 4]
+    counters = reg.snapshot()["counters"]
+    for i in (0, 1, 2):
+        assert counters[f'sweep_test.calls{{item="{i}",sweep="sq"}}'] == 1
+    assert counters['sweep_test.calls{item="0",kind="even",sweep="sq"}'] == 1
+    assert counters['sweep_test.calls{item="1",kind="odd",sweep="sq"}'] == 1
+    hists = reg.snapshot()["histograms"]
+    assert hists['sweep_test.values{item="2",sweep="sq"}']["max"] == 2
+
+
+def test_worker_results_unwrapped_without_telemetry():
+    # No active emitter: workers run bare and nothing leaks into the
+    # parent registry (the zero-cost-when-disabled guarantee).
+    with metrics.scoped() as reg:
+        out = sweep_map(_metered_square, [0, 1, 2], jobs=2, label="sq")
+    assert out == [0, 1, 4]
+    assert reg.snapshot()["counters"] == {}
+
+
+def test_worker_telemetry_survives_pool_crash(tmp_path):
+    # The failure-path harvest must unwrap (result, snapshot) tuples
+    # exactly like the happy path; serially rerun items record straight
+    # into the parent registry instead.
+    with warnings.catch_warnings(record=True):
+        warnings.simplefilter("always")
+        with metrics.scoped() as reg, events.capture():
+            with faults.inject(FaultSpec("sweep.pool", mode="crash")):
+                out = sweep_map(_metered_square, list(range(6)), jobs=2)
+    assert out == [x * x for x in range(6)]
+    counters = reg.snapshot()["counters"]
+    merged = sum(
+        v for k, v in counters.items()
+        if k.startswith("sweep_test.calls{")
+        and "item=" in k and "kind=" not in k
+    )
+    direct = counters.get("sweep_test.calls", 0)
+    assert merged + direct == 6
 
 
 def test_pool_hang_still_completes(tmp_path):

@@ -118,6 +118,66 @@ def test_scoped_registry_isolates():
     assert "x" not in outer.snapshot()["counters"]
 
 
+def test_labeled_series_are_independent_and_deterministic():
+    with metrics.scoped() as reg:
+        reg.counter("inter.steps").inc(5)
+        # Keyword order must not matter: both calls hit one series.
+        reg.counter("sim.thread.busy_cycles", thread=2, kernel="md5").inc(7)
+        reg.counter("sim.thread.busy_cycles", kernel="md5", thread=2).inc(1)
+        snap = reg.snapshot()
+    counters = snap["counters"]
+    assert counters["inter.steps"] == 5  # unlabeled series unchanged
+    assert counters['sim.thread.busy_cycles{kernel="md5",thread="2"}'] == 8
+    # Snapshot ordering is a plain string sort over the full keys.
+    assert list(counters) == sorted(counters)
+
+
+def test_label_key_format_parse_round_trip():
+    pairs = metrics.normalize_labels(
+        {"kernel": 'we"ird\\name', "thread": 3, "note": "a\nb"}
+    )
+    key = metrics.format_key("sim.x", pairs)
+    name, back = metrics.parse_key(key)
+    assert name == "sim.x" and back == pairs
+    assert metrics.parse_key("plain") == ("plain", ())
+    with pytest.raises(ValueError):
+        metrics.parse_key("bad{unterminated")
+
+
+def test_merge_snapshot_adds_labels_and_folds_values():
+    donor = metrics.MetricsRegistry()
+    donor.counter("cache.hit", kernel="crc").inc(3)
+    donor.gauge("sim.util").set(0.5)
+    donor.histogram("inter.step_delta").observe(7)
+    snap = donor.snapshot()
+
+    target = metrics.MetricsRegistry()
+    target.counter("cache.hit", kernel="crc", item=0).inc(1)
+    target.merge_snapshot(snap, labels={"item": 0})
+    target.merge_snapshot(snap, labels={"item": 1})
+    out = target.snapshot()
+    assert out["counters"]['cache.hit{item="0",kernel="crc"}'] == 4
+    assert out["counters"]['cache.hit{item="1",kernel="crc"}'] == 3
+    assert out["gauges"]['sim.util{item="0"}'] == 0.5
+    hist = out["histograms"]['inter.step_delta{item="1"}']
+    assert hist["count"] == 1 and hist["max"] == 7
+    # Merged histograms keep the donor's exact bucket keys.
+    assert list(hist["buckets"]) == [
+        str(b) for b in metrics.DEFAULT_BUCKETS
+    ] + ["+inf"]
+
+
+def test_timing_buckets_resolve_sub_second_observations():
+    """DEFAULT_BUCKETS collapses all sub-second timings into one bucket;
+    TIMING_BUCKETS must spread them out."""
+    with metrics.scoped() as reg:
+        h = reg.histogram("alloc.phase_seconds", bounds=metrics.TIMING_BUCKETS)
+        for v in (0.0002, 0.003, 0.04, 0.5):
+            h.observe(v)
+        buckets = h.snapshot()["buckets"]
+    assert sum(1 for c in buckets.values() if c) == 4
+
+
 # ----------------------------------------------------------------------
 # export
 # ----------------------------------------------------------------------
@@ -270,6 +330,48 @@ def test_cli_metrics_flag(tmp_path, capsys):
     assert rows and all("name" in r and "seq" in r for r in rows)
     # After the CLI run the globals are restored.
     assert events.get_emitter() is events.NULL
+
+
+def test_cli_prom_and_chrome_flags(tmp_path, capsys):
+    from repro.cli import main
+
+    prom = tmp_path / "m.prom"
+    chrome = tmp_path / "t.json"
+    rc = main(
+        [
+            "run",
+            "bench:md5",
+            "--allocated",
+            "--packets",
+            "2",
+            "--prom",
+            str(prom),
+            "--trace-chrome",
+            str(chrome),
+        ]
+    )
+    assert rc == 0
+    text = prom.read_text()
+    assert "# TYPE repro_cache_hit counter" in text or \
+        "# TYPE repro_cache_miss counter" in text
+    assert '{kernel="md5"}' in text
+    doc = json.loads(chrome.read_text())
+    names = {r["name"] for r in doc["traceEvents"]}
+    assert "allocate" in names and "inter" in names
+    assert events.get_emitter() is events.NULL
+
+
+def test_cli_chaos_accepts_telemetry_flags(tmp_path, capsys):
+    from repro.cli import main
+
+    out = tmp_path / "m.json"
+    rc = main(
+        ["chaos", "--kernels", "crc", "--metrics", str(out)]
+    )
+    assert rc == 0
+    snap = json.loads(out.read_text())
+    assert snap["schema"] == "repro.obs/1"
+    assert snap["metrics"]["counters"], "chaos must record metric series"
 
 
 def test_cli_profile_command(capsys):

@@ -1,0 +1,180 @@
+"""Tests for the standard exporters: Prometheus text and Chrome trace."""
+
+import json
+import re
+
+import pytest
+
+from repro.obs import events, metrics
+from repro.obs.export import (
+    prom_name,
+    to_chrome_trace,
+    to_prometheus,
+    write_chrome_trace,
+    write_prometheus,
+)
+
+
+def _populated_registry():
+    reg = metrics.MetricsRegistry()
+    reg.counter("inter.steps").inc(7)
+    reg.counter("inter.steps", kind="pr").inc(4)
+    reg.counter("inter.steps", kind="sr").inc(3)
+    reg.gauge("sim.util", engine="fast").set(0.75)
+    h = reg.histogram("inter.step_delta")
+    for v in (0, 1, 7, 1000):
+        h.observe(v)
+    t = reg.histogram(
+        "alloc.phase_seconds", bounds=metrics.TIMING_BUCKETS, phase="inter"
+    )
+    t.observe(0.0004)
+    t.observe(0.02)
+    return reg
+
+
+# ----------------------------------------------------------------------
+# Prometheus text exposition
+# ----------------------------------------------------------------------
+
+def test_prom_name_sanitizes():
+    assert prom_name("inter.steps") == "repro_inter_steps"
+    assert prom_name("weird-name!x") == "repro_weird_name_x"
+    assert prom_name("9lives") == "repro__9lives"
+
+
+_SAMPLE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})? (?P<value>\S+)$"
+)
+
+
+def _parse_exposition(text):
+    """Parse the exposition text back into types + samples."""
+    types = {}
+    samples = {}
+    for line in text.splitlines():
+        if not line:
+            continue
+        if line.startswith("# TYPE "):
+            _, _, name, kind = line.split(" ")
+            types[name] = kind
+            continue
+        m = _SAMPLE.match(line)
+        assert m, f"unparsable sample line: {line!r}"
+        labels = {}
+        if m.group("labels"):
+            for part in m.group("labels").split(","):
+                k, v = part.split("=", 1)
+                labels[k] = v.strip('"')
+        key = (m.group("name"), tuple(sorted(labels.items())))
+        assert key not in samples, f"duplicate sample {key}"
+        samples[key] = float(m.group("value"))
+    return types, samples
+
+
+def test_prometheus_round_trips_the_snapshot():
+    """Every snapshot series must reappear, value-exact, in the text."""
+    snap = _populated_registry().snapshot()
+    types, samples = _parse_exposition(to_prometheus(snap))
+
+    assert types["repro_inter_steps"] == "counter"
+    assert types["repro_sim_util"] == "gauge"
+    assert types["repro_inter_step_delta"] == "histogram"
+
+    for key, value in snap["counters"].items():
+        name, pairs = metrics.parse_key(key)
+        assert samples[(prom_name(name), tuple(sorted(pairs)))] == value
+    for key, value in snap["gauges"].items():
+        name, pairs = metrics.parse_key(key)
+        assert samples[(prom_name(name), tuple(sorted(pairs)))] == value
+    for key, hist in snap["histograms"].items():
+        name, pairs = metrics.parse_key(key)
+        base = prom_name(name)
+        assert samples[(base + "_count", tuple(sorted(pairs)))] == hist["count"]
+        assert samples[(base + "_sum", tuple(sorted(pairs)))] == hist["sum"]
+        # Cumulative buckets: non-decreasing, +Inf equals _count.
+        seen = []
+        for bound in hist["buckets"]:
+            le = "+Inf" if bound == "+inf" else bound
+            label_key = tuple(sorted(list(pairs) + [("le", le)]))
+            seen.append(samples[(base + "_bucket", label_key)])
+        assert seen == sorted(seen)
+        assert seen[-1] == hist["count"]
+
+
+def test_prometheus_one_type_line_per_family():
+    text = to_prometheus(_populated_registry().snapshot())
+    type_lines = [l for l in text.splitlines() if l.startswith("# TYPE ")]
+    assert len(type_lines) == len(set(type_lines))
+    # Labeled and unlabeled inter.steps share one family declaration.
+    assert sum("repro_inter_steps " in l for l in type_lines) == 1
+
+
+def test_prometheus_is_byte_stable():
+    snap = _populated_registry().snapshot()
+    assert to_prometheus(snap) == to_prometheus(snap)
+
+
+def test_prometheus_empty_snapshot():
+    assert to_prometheus(metrics.MetricsRegistry().snapshot()) == ""
+
+
+def test_write_prometheus(tmp_path):
+    out = write_prometheus(
+        tmp_path / "m.prom", _populated_registry().snapshot()
+    )
+    assert "# TYPE repro_inter_steps counter" in out.read_text()
+
+
+# ----------------------------------------------------------------------
+# Chrome trace-event JSON
+# ----------------------------------------------------------------------
+
+def _captured_emitter():
+    ticks = iter(x / 1000.0 for x in range(100))
+    em = events.Emitter(clock=lambda: float(next(ticks)))
+    with em.span("outer", nreg=64):
+        em.emit("point", x=1)
+        with em.span("inner"):
+            pass
+    return em
+
+
+def test_chrome_trace_shape_and_nesting():
+    doc = to_chrome_trace(_captured_emitter())
+    assert doc["displayTimeUnit"] == "ms"
+    recs = doc["traceEvents"]
+    by_name = {r["name"]: r for r in recs}
+
+    outer, inner, point = by_name["outer"], by_name["inner"], by_name["point"]
+    assert outer["ph"] == inner["ph"] == "X"
+    assert point["ph"] == "i" and point["s"] == "t"
+    # Microsecond timestamps; children start at/after the parent start
+    # and end at/before the parent end.
+    assert outer["ts"] <= inner["ts"]
+    assert inner["ts"] + inner["dur"] <= outer["ts"] + outer["dur"]
+    assert outer["ts"] <= point["ts"] <= outer["ts"] + outer["dur"]
+    # The category names the enclosing span.
+    assert inner["cat"] == "outer" and point["cat"] == "outer"
+    assert outer["cat"] == "top"
+    assert outer["args"] == {"nreg": 64}
+
+
+def test_chrome_trace_sorted_parents_first():
+    recs = to_chrome_trace(_captured_emitter())["traceEvents"]
+    ts = [r["ts"] for r in recs]
+    assert ts == sorted(ts)
+    # At equal ts the longer (enclosing) span comes first.
+    order = [r["name"] for r in recs]
+    assert order.index("outer") < order.index("inner")
+
+
+def test_chrome_trace_is_strict_json(tmp_path):
+    out = write_chrome_trace(tmp_path / "t.json", _captured_emitter())
+    doc = json.loads(out.read_text())
+    assert {r["ph"] for r in doc["traceEvents"]} == {"X", "i"}
+
+
+def test_chrome_trace_empty_emitter():
+    em = events.Emitter(clock=lambda: 0.0)
+    assert to_chrome_trace(em)["traceEvents"] == []
