@@ -1,0 +1,41 @@
+"""Batched-engine benchmark: N scalar fast runs vs one lockstep batch.
+
+Run with::
+
+    pytest benchmarks/bench_batch.py --benchmark-only -s
+
+Every suite kernel runs a 256-seed sweep twice -- as 256 independent
+fast-engine runs and as one 256-lane :class:`~repro.sim.batch
+.BatchMachine` execution -- and the table (also written to
+``benchmarks/out/batch.txt`` and ``benchmarks/out/BENCH_batch.json``)
+reports the per-kernel and aggregate speedup.  The run aborts if any
+lane's MachineStats/send-queues/store-traces/memory differ from the
+scalar run with the same seed -- vectorization never comes at the cost
+of fidelity.
+"""
+
+from benchmarks._util import publish
+from repro.harness.batchperf import (
+    render_batchperf,
+    run_batchperf,
+    summarize_batchperf,
+)
+
+
+def test_batch(benchmark):
+    rows = benchmark.pedantic(
+        lambda: run_batchperf(lanes=256, packets=16), rounds=1, iterations=1
+    )
+    assert len(rows) == 11
+    for r in rows:
+        assert r.lanes_identical, f"{r.name}: lanes diverged"
+    summary = summarize_batchperf(rows)
+    # The CI smoke gate is 2x on three kernels at 64 lanes; the full
+    # suite at 256 lanes on an unloaded machine lands above 3x aggregate
+    # (ALU-dense kernels 5-10x, CSB-bound kernels 1-2x).
+    assert summary["speedup"] >= 3.0
+    publish(
+        "batch",
+        render_batchperf(rows),
+        data={"rows": [r.to_dict() for r in rows], "summary": summary},
+    )

@@ -19,10 +19,10 @@ Commands:
 ``encode FILE [-o OUT]``
     Assemble an allocated (physical-register) program to 64-bit machine
     words (hex, one per line).
-``bench {table1,table2,table3,fig14,perf,alloc,analysis,trend} [--engine E]``
+``bench {table1,table2,table3,fig14,perf,batch,alloc,analysis,trend} [--engine E]``
     Regenerate one of the paper's tables/figures, or the engine
-    (``perf``) / allocation-pipeline (``alloc``) / cold-analysis
-    (``analysis``) throughput comparisons.  Every measuring experiment
+    (``perf``) / batched-lockstep (``batch``) / allocation-pipeline
+    (``alloc``) / cold-analysis (``analysis``) throughput comparisons.  Every measuring experiment
     appends a row to the run ledger (``--ledger PATH``, default
     ``$REPRO_LEDGER`` or ``benchmarks/out/ledger.jsonl``); ``trend``
     reads the ledger plus the committed ``BENCH_*.json`` snapshots and
@@ -31,11 +31,15 @@ Commands:
     speedup, analysis speedup, cycle counts) regressed beyond the
     noise-aware ``--threshold`` percentage.
 
-``run``, ``profile``, and ``bench`` accept ``--engine
-{auto,fast,reference}`` to pick the execution engine
+``run``, ``profile``, ``bench``, and ``chaos`` accept ``--engine
+{auto,fast,reference,batch}`` to pick the execution engine
 (``docs/PERFORMANCE.md``); the default ``auto`` uses the pre-decoded
 fast engine except for runs needing reference-only features (tracing,
 timelines, the paranoid checker, an active telemetry capture).
+``batch`` is the numpy lockstep engine: seed sweeps become one
+vectorized run (``repro.sim.run.run_seed_sweep``); flags that force a
+reference-only feature (e.g. ``run --allocated``) reject it with an
+error naming the forcing flag.
 ``profile`` and ``bench`` also accept ``--jobs N`` (parallel sweep /
 analysis workers) and ``--cache-dir DIR`` (persist the analysis cache
 on disk, also settable via ``REPRO_CACHE_DIR``); both default to the
@@ -86,6 +90,7 @@ from repro.ir.parser import parse_program
 from repro.ir.printer import format_program
 from repro.ir.program import Program
 from repro.ir.validate import validate_program
+from repro.sim.engine import ENGINES
 from repro.sim.run import outputs_match, run_reference, run_threads
 from repro.suite.registry import BENCHMARKS, load
 
@@ -207,12 +212,11 @@ def cmd_run(args: argparse.Namespace) -> int:
     programs = _load_all(args.files)
     engine = args.engine
     if args.allocated:
-        if engine == "fast":
+        if engine in ("fast", "batch"):
             print(
-                "error: --allocated verifies the run with the paranoid "
-                "safety checker, which the fast engine does not "
-                "implement; drop --engine fast or use --engine "
-                "reference/auto",
+                _engine_conflict(
+                    "--allocated", engine, "the paranoid safety checker"
+                ),
                 file=sys.stderr,
             )
             return 2
@@ -339,6 +343,18 @@ def _run_bench_experiment(args: argparse.Namespace):
             "rows": [r.to_dict() for r in rows],
             "summary": summarize_perf(rows),
         }
+    if args.experiment == "batch":
+        from repro.harness.batchperf import (
+            render_batchperf,
+            run_batchperf,
+            summarize_batchperf,
+        )
+
+        rows = run_batchperf()
+        return render_batchperf(rows), {
+            "rows": [r.to_dict() for r in rows],
+            "summary": summarize_batchperf(rows),
+        }
     if args.experiment == "alloc":
         from repro.harness.allocperf import render_alloc, run_alloc_bench
 
@@ -459,16 +475,23 @@ def cmd_bench(args: argparse.Namespace) -> int:
 
 def cmd_chaos(args: argparse.Namespace) -> int:
     from repro.harness.chaos import render_chaos, run_chaos
+    from repro.sim.engine import set_default_engine
 
     kernels = [k for k in args.kernels.split(",") if k]
     scenarios = (
         [s for s in args.scenarios.split(",") if s] if args.scenarios else None
     )
+    # Campaign-wide engine preference, like ``bench``: scenario bodies
+    # that pin the reference engine (the differential oracles) keep it;
+    # everything else follows the flag.
+    previous = set_default_engine(args.engine)
     try:
         report = run_chaos(kernels=kernels, scenarios=scenarios, seed=args.seed)
     except (KeyError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    finally:
+        set_default_engine(previous)
     print(render_chaos(report))
     if args.json:
         from repro.obs.export import write_json
@@ -539,13 +562,28 @@ def _add_analysis_flag(p: argparse.ArgumentParser) -> None:
 
 
 def _add_engine_flag(p: argparse.ArgumentParser) -> None:
+    """The one shared ``--engine`` definition for every subparser that
+    runs the simulator (``run``/``profile``/``bench``/``chaos``); the
+    choice list comes straight from the engine registry, so a new
+    engine is a one-line registry change, not four parser edits."""
     p.add_argument(
         "--engine",
-        choices=["auto", "fast", "reference"],
+        choices=list(ENGINES),
         default="auto",
         help="execution engine: 'fast' is the pre-decoded burst engine "
-        "(stats-identical, no tracing/paranoid checks), 'reference' the "
-        "full-featured interpreter, 'auto' picks per run (default)",
+        "(stats-identical, no tracing/paranoid checks), 'batch' the "
+        "numpy lockstep engine that vectorizes seed sweeps, 'reference' "
+        "the full-featured interpreter, 'auto' picks per run (default)",
+    )
+
+
+def _engine_conflict(flag: str, engine: str, feature: str) -> str:
+    """An incompatible-flag error that names the flag forcing the
+    conflict, e.g. ``--allocated`` vs ``--engine fast``."""
+    return (
+        f"error: {flag} needs {feature}, which the {engine} engine does "
+        f"not implement; {flag} forces the reference engine, so drop "
+        f"--engine {engine} or use --engine reference/auto"
     )
 
 
@@ -662,6 +700,7 @@ def build_parser() -> argparse.ArgumentParser:
             "table3",
             "fig14",
             "perf",
+            "batch",
             "alloc",
             "analysis",
             "trend",
@@ -717,6 +756,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--json", metavar="OUT.json", help="write the chaos report as JSON"
     )
+    _add_engine_flag(p)
     _add_obs_flags(p)
     p.set_defaults(func=cmd_chaos)
 

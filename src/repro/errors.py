@@ -91,11 +91,13 @@ class WatchdogError(SimulationError):
 class EngineError(SimulationError):
     """An execution engine cannot honour the requested feature set.
 
-    Raised when the pre-decoded fast engine is explicitly selected
+    Raised when the fast or batch engine is explicitly selected
     together with a feature only the reference interpreter implements
     (instruction tracing, timeline recording, the paranoid safety
-    checker).  Auto-selection never raises it -- it silently picks the
-    reference engine instead.
+    checker), when ``engine="batch"`` is requested without numpy
+    installed or with a fault-injection plan armed, and for unknown
+    engine names.  Auto-selection never raises it -- it silently picks
+    the reference engine instead.
     """
 
 

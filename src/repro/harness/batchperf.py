@@ -1,0 +1,207 @@
+"""Batched-engine throughput: N scalar fast runs vs one lockstep batch.
+
+For every suite kernel this harness runs the same seed sweep twice --
+once as ``lanes`` independent fast-engine runs (the pre-batch way) and
+once as a single :class:`~repro.sim.batch.BatchMachine` execution with
+one lane per seed -- and reports the wall-clock speedup per kernel plus
+the aggregate over the whole suite.  ``repro bench batch`` prints the
+table; ``benchmarks/bench_batch.py`` persists it as ``BENCH_batch.json``
+and feeds the ``sim.batch_speedup`` / ``sim.batch_ips`` watched metrics
+to the trend sentinel.
+
+Identity is checked, not assumed: every lane's ``MachineStats``, send
+queues, store traces, and final memory are compared against the scalar
+fast run with the same seed (itself differentially gated against the
+reference interpreter), and the first ``ref_lanes`` seeds per kernel are
+additionally compared against a reference-engine run directly.  A row
+whose lanes diverge reports ``lanes_identical=False`` and its speedup is
+meaningless -- the renderer flags it and the CI gate fails on it.
+
+Timing covers the runs only; machine construction (decode + bind) is
+excluded for both sides, matching :mod:`repro.harness.perf`.  The fast
+side reuses one decoded program across seeds via the decode cache, so
+the comparison is against the fast engine at its best.
+"""
+
+from __future__ import annotations
+
+import gc
+import time
+from dataclasses import asdict, dataclass
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.suite.registry import BENCHMARKS, load
+
+
+@dataclass
+class BatchPerfRow:
+    """One kernel's N-scalar-runs vs one-batch comparison."""
+
+    name: str
+    lanes: int
+    packets: int
+    instructions: int
+    fast_run_s: float
+    batch_run_s: float
+    fast_ips: float
+    batch_ips: float
+    speedup: float
+    lanes_identical: bool
+
+    def to_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+
+def _lane_matches(machine, outcome, run) -> bool:
+    """One batch lane vs one scalar run: stats, queues, stores, memory."""
+    if outcome.error is not None or outcome.stats != run.stats:
+        return False
+    for thread, ref in zip(
+        machine.lane_threads(outcome.lane), run.machine.threads
+    ):
+        if list(thread.out_queue) != list(ref.out_queue):
+            return False
+        if list(thread.stores) != list(ref.stores):
+            return False
+    return (
+        machine.memories[outcome.lane].snapshot()
+        == run.machine.memory.snapshot()
+    )
+
+
+def run_batchperf(
+    names: Optional[Sequence[str]] = None,
+    lanes: int = 64,
+    packets: int = 16,
+    ref_lanes: int = 1,
+) -> List[BatchPerfRow]:
+    """Compare N fast runs vs one batch over the suite (all kernels by
+    default); seeds are ``1..lanes``, one lane per seed."""
+    from repro.sim.batch import build_batch_machine
+    from repro.sim.run import run_threads
+
+    rows: List[BatchPerfRow] = []
+    seeds = list(range(1, lanes + 1))
+    for name in names or list(BENCHMARKS):
+        program = load(name)
+        # The scalar results are all retained for the identity check
+        # below; without pausing the collector, cyclic-GC passes over
+        # that ever-growing heap would be billed to the fast engine.
+        gc.collect()
+        gc.disable()
+        try:
+            t0 = time.perf_counter()
+            fast = [
+                run_threads(
+                    [program],
+                    seed=seed,
+                    packets_per_thread=packets,
+                    engine="fast",
+                )
+                for seed in seeds
+            ]
+            fast_s = time.perf_counter() - t0
+        finally:
+            gc.enable()
+        machine = build_batch_machine(
+            [program], seeds, packets_per_thread=packets
+        )
+        gc.collect()
+        gc.disable()
+        try:
+            t0 = time.perf_counter()
+            outcomes = machine.run_batch()
+            batch_s = time.perf_counter() - t0
+        finally:
+            gc.enable()
+        identical = all(
+            _lane_matches(machine, o, r) for o, r in zip(outcomes, fast)
+        )
+        if identical and ref_lanes:
+            for seed, outcome in list(zip(seeds, outcomes))[:ref_lanes]:
+                reference = run_threads(
+                    [program],
+                    seed=seed,
+                    packets_per_thread=packets,
+                    engine="reference",
+                )
+                if not _lane_matches(machine, outcome, reference):
+                    identical = False
+                    break
+        instructions = sum(
+            sum(t.instructions for t in o.stats.threads)
+            for o in outcomes
+            if o.error is None
+        )
+        rows.append(
+            BatchPerfRow(
+                name=name,
+                lanes=lanes,
+                packets=packets,
+                instructions=instructions,
+                fast_run_s=fast_s,
+                batch_run_s=batch_s,
+                fast_ips=instructions / fast_s if fast_s else 0.0,
+                batch_ips=instructions / batch_s if batch_s else 0.0,
+                speedup=fast_s / batch_s if batch_s else 0.0,
+                lanes_identical=identical,
+            )
+        )
+    return rows
+
+
+def summarize_batchperf(rows: Sequence[BatchPerfRow]) -> Dict[str, Any]:
+    """Suite-level aggregate: total work over total time per strategy."""
+    instructions = sum(r.instructions for r in rows)
+    fast_s = sum(r.fast_run_s for r in rows)
+    batch_s = sum(r.batch_run_s for r in rows)
+    return {
+        "kernels": len(rows),
+        "lanes": rows[0].lanes if rows else 0,
+        "instructions": instructions,
+        "fast_run_s": fast_s,
+        "batch_run_s": batch_s,
+        "fast_ips": instructions / fast_s if fast_s else 0.0,
+        "batch_ips": instructions / batch_s if batch_s else 0.0,
+        "speedup": fast_s / batch_s if batch_s else 0.0,
+        "lanes_identical": all(r.lanes_identical for r in rows),
+    }
+
+
+def render_batchperf(rows: Sequence[BatchPerfRow]) -> str:
+    from repro.harness.report import text_table
+
+    headers = [
+        "benchmark", "lanes", "fast ms", "batch ms",
+        "fast Mips", "batch Mips", "speedup", "identical",
+    ]
+    table = [
+        (
+            r.name,
+            r.lanes,
+            1000.0 * r.fast_run_s,
+            1000.0 * r.batch_run_s,
+            r.fast_ips / 1e6,
+            r.batch_ips / 1e6,
+            r.speedup,
+            "yes" if r.lanes_identical else "NO",
+        )
+        for r in rows
+    ]
+    s = summarize_batchperf(rows)
+    table.append(
+        (
+            "AGGREGATE",
+            s["lanes"],
+            1000.0 * s["fast_run_s"],
+            1000.0 * s["batch_run_s"],
+            s["fast_ips"] / 1e6,
+            s["batch_ips"] / 1e6,
+            s["speedup"],
+            "yes" if s["lanes_identical"] else "NO",
+        )
+    )
+    return (
+        "Batched simulation: N scalar fast runs vs one lockstep batch "
+        f"({s['lanes']} lanes)\n" + text_table(headers, table)
+    )

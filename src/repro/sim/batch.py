@@ -1,0 +1,1481 @@
+"""The batched lockstep execution engine.
+
+:class:`BatchMachine` runs **many independent machine instances** (lanes)
+as one vectorized execution.  Architectural state is laid out
+struct-of-arrays: the physical register file and every thread's virtual
+register file are numpy ``uint64`` arrays of shape ``(n_slots, n_lanes)``,
+so one decoded instruction is applied to every lane at the same program
+counter with a single elementwise numpy operation instead of ``n_lanes``
+interpreter steps.  The per-instruction interpreter overhead -- the only
+thing the fast engine (:mod:`repro.sim.fast`) still pays per run -- is
+amortized over the whole batch.
+
+Lanes share nothing but the decoded programs: each lane has its own
+:class:`~repro.sim.memory.Memory`, its own packet queues, its own cycle
+counters, and its own scheduler state.  The paper's kernels are
+data-independent loops, so lanes that run the same program over
+different packet seeds stay in near-perfect pc lockstep; when control
+flow *does* diverge the engine masks, it does not fork:
+
+* a conditional branch whose lanes disagree splits the current lane
+  group into taken/fall-through subgroups (numpy boolean masks); each
+  subgroup continues vectorized and groups are re-formed at the next
+  scheduling boundary;
+* a lane that halts, blocks on a context-switch boundary, or exhausts
+  its runaway budget simply leaves its group; the remaining lanes keep
+  executing.
+
+Scheduling (round-robin ready queue, ``(wake, tid)`` min-heap, deferred
+load writebacks, ``ctx_cost`` per relinquish) is replicated *per lane*
+exactly as the fast engine does it, so every lane is bit-identical --
+``MachineStats``, send queues, store traces, memory contents -- to a
+scalar run of the reference engine with the same inputs.  The
+differential suite in ``tests/test_sim_batch.py`` enforces this per
+lane, the same contract PR 2 established for the fast engine.
+
+Like the fast engine, this engine records no traces or timelines and
+performs no paranoid checks; requesting those raises
+:class:`~repro.errors.EngineError`.  Fault-injection plans
+(:mod:`repro.resilience.faults`) are also rejected: a plan's RNG
+consumption is defined against one machine's event order, which has no
+faithful analogue across interleaved lanes.
+"""
+
+from __future__ import annotations
+
+import heapq
+import operator
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import EngineError, SimulationError, WatchdogError
+from repro.ir.program import Program
+from repro.obs import events as obs
+from repro.obs import metrics as obs_metrics
+from repro.resilience import faults
+from repro.sim import decode as dc
+from repro.sim.fast import decode_cached
+from repro.sim.machine import ThreadContext
+from repro.sim.memory import MASK32, Memory
+from repro.sim.stats import MachineStats
+
+_M = MASK32
+#: numpy-typed 32-bit mask; ``uint64 & _M64`` stays uint64.
+_M64 = np.uint64(MASK32)
+#: Lane selector meaning "every lane" -- plain slicing is markedly
+#: cheaper than fancy indexing, and full-width groups are the common
+#: case for the suite's data-independent kernels.
+_FULL = slice(None)
+
+#: Per-(lane, thread) counter slots, same layout as the fast engine:
+#: [alu_ops, moves, instructions, busy_cycles, mem_ops, ctx_instrs,
+#: switches, iterations].
+_N_COUNTS = 8
+
+
+# ----------------------------------------------------------------------
+# Vectorized closure factories.  Each returns a callable taking the
+# current lane selector ``L`` (slice or index array) and returning either
+# the next PC (int) or, for data-dependent branches, a
+# ``(taken_pc, fall_pc, bool_mask)`` triple for the dispatch loop to
+# split on.  ``d``/``a``/``b`` are ``(n_lanes,)`` uint64 row views
+# resolved at bind time; rows stay valid because the backing arrays are
+# never reallocated.
+#
+# The full-width selector (``L is _FULL``, the lockstep common case)
+# takes an allocation-free path: ufuncs with ``out=`` writing straight
+# into the destination row (full-overlap aliasing of an elementwise
+# ufunc's input and output is well defined).  Divergent subgroups fall
+# back to the generic masked expression.
+# ----------------------------------------------------------------------
+
+#: ``operator``/decode callables -> numpy ufuncs for the in-place path.
+_ALU_UFUNC = {
+    operator.add: np.add,
+    operator.sub: np.subtract,
+    operator.mul: np.multiply,
+    operator.and_: np.bitwise_and,
+    operator.or_: np.bitwise_or,
+    operator.xor: np.bitwise_xor,
+}
+#: Ufuncs whose uint64 result already fits in 32 bits when both inputs
+#: do -- no post-op mask needed (``shr`` shares the property).
+_FITS_32 = (np.bitwise_and, np.bitwise_or, np.bitwise_xor)
+_CMP_UFUNC = {
+    operator.eq: np.equal,
+    operator.ne: np.not_equal,
+    operator.lt: np.less,
+    operator.ge: np.greater_equal,
+}
+_31 = np.uint64(31)
+
+
+def _bind_alu_rr(fn, d, a, b, npc, scratch):
+    if fn is dc._shl:
+        def op(L):
+            if L is _FULL:
+                np.bitwise_and(b, _31, out=scratch)
+                np.left_shift(a, scratch, out=d)
+                np.bitwise_and(d, _M64, out=d)
+                return npc
+            d[L] = fn(a[L], b[L]) & _M64
+            return npc
+
+        return op
+    if fn is dc._shr:
+        def op(L):
+            if L is _FULL:
+                np.bitwise_and(b, _31, out=scratch)
+                np.right_shift(a, scratch, out=d)
+                return npc
+            d[L] = fn(a[L], b[L])
+            return npc
+
+        return op
+    uf = _ALU_UFUNC[fn]
+    if uf in _FITS_32:
+        def op(L):
+            if L is _FULL:
+                uf(a, b, out=d)
+                return npc
+            d[L] = fn(a[L], b[L])
+            return npc
+
+    else:
+        def op(L):
+            if L is _FULL:
+                uf(a, b, out=d)
+                np.bitwise_and(d, _M64, out=d)
+                return npc
+            d[L] = fn(a[L], b[L]) & _M64
+            return npc
+
+    return op
+
+
+def _bind_alu_ri(fn, d, a, imm, npc):
+    if fn is dc._shl:
+        sh = np.uint64(imm & 31)
+
+        def op(L):
+            if L is _FULL:
+                np.left_shift(a, sh, out=d)
+                np.bitwise_and(d, _M64, out=d)
+                return npc
+            d[L] = fn(a[L], imm) & _M64
+            return npc
+
+        return op
+    if fn is dc._shr:
+        sh = np.uint64(imm & 31)
+
+        def op(L):
+            if L is _FULL:
+                np.right_shift(a, sh, out=d)
+                return npc
+            d[L] = fn(a[L], imm)
+            return npc
+
+        return op
+    uf = _ALU_UFUNC[fn]
+    immu = np.uint64(imm)
+    if uf in _FITS_32:
+        def op(L):
+            if L is _FULL:
+                uf(a, immu, out=d)
+                return npc
+            d[L] = fn(a[L], imm)
+            return npc
+
+    else:
+        def op(L):
+            if L is _FULL:
+                uf(a, immu, out=d)
+                np.bitwise_and(d, _M64, out=d)
+                return npc
+            d[L] = fn(a[L], imm) & _M64
+            return npc
+
+    return op
+
+
+def _bind_mov(d, s, npc):
+    def op(L):
+        if L is _FULL:
+            np.copyto(d, s)
+        else:
+            d[L] = s[L]
+        return npc
+
+    return op
+
+
+def _bind_movi(d, imm, npc):
+    immu = np.uint64(imm)
+
+    def op(L):
+        if L is _FULL:
+            d.fill(immu)
+        else:
+            d[L] = immu
+        return npc
+
+    return op
+
+
+def _bind_br(target):
+    def op(L):
+        return target
+
+    return op
+
+
+def _bind_cond_rr(fn, a, b, taken, fall, bscratch):
+    uf = _CMP_UFUNC[fn]
+
+    def op(L):
+        if L is _FULL:
+            return (taken, fall, uf(a, b, out=bscratch))
+        return (taken, fall, fn(a[L], b[L]))
+
+    return op
+
+
+def _bind_cond_ri(fn, a, imm, taken, fall, bscratch):
+    uf = _CMP_UFUNC[fn]
+    immu = np.uint64(imm)
+
+    def op(L):
+        if L is _FULL:
+            return (taken, fall, uf(a, immu, out=bscratch))
+        return (taken, fall, fn(a[L], imm))
+
+    return op
+
+
+def _bind_bad_reg(message):
+    def op(L):
+        raise SimulationError(message)
+
+    return op
+
+
+def _fold_cond_imm(fn, imm) -> Optional[bool]:
+    """Resolve a register-vs-immediate comparison whose immediate lies
+    outside ``[0, 2**32)`` to a constant outcome.
+
+    Register values are always masked into that range, so the reference
+    engine's raw-int comparison is decided by the immediate alone; the
+    numpy path must *not* mask such an immediate (masking would change
+    the comparison), so the branch is folded to always/never taken.
+    Returns None for in-range immediates (compare elementwise).
+    """
+    if 0 <= imm <= _M:
+        return None
+    if fn is operator.eq:
+        return False
+    if fn is operator.ne:
+        return True
+    if fn is operator.lt:
+        return imm > _M  # reg < huge-imm always; reg < negative never
+    if fn is operator.ge:
+        return imm < 0  # reg >= negative always; reg >= huge-imm never
+    return None  # pragma: no cover - COND_FN is exhaustive
+
+
+@dataclass
+class LaneResult:
+    """The outcome of one lane of a batched run.
+
+    Exactly one of ``stats``/``error`` is set: a lane that completed
+    carries its :class:`MachineStats`; a lane that failed (watchdog,
+    illegal address, off-the-end) carries the same typed exception the
+    reference engine would have raised for that lane's scalar run.
+    """
+
+    lane: int
+    stats: Optional[MachineStats] = None
+    error: Optional[SimulationError] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+class BatchMachine:
+    """``n_lanes`` machine instances executed as one vectorized run.
+
+    Accepts the reference machine's constructor keywords (plus
+    ``n_lanes`` and ``memories``) so a single-lane batch is a drop-in
+    replacement behind :func:`repro.sim.engine.create_machine`:
+    ``n_lanes=1`` exposes ``.threads``/``.memory``/``.run()`` exactly
+    like the other engines.  Multi-lane batches use
+    :meth:`lane_threads`/:meth:`run_batch`.
+
+    ``trace=True``, ``timeline=True``, and a non-None ``assignment``
+    raise :class:`EngineError` (reference-engine features, as for the
+    fast engine).  ``memory=`` is accepted only for single-lane batches;
+    multi-lane batches get one fresh :class:`Memory` per lane (or the
+    explicit per-lane ``memories`` sequence).
+    """
+
+    def __init__(
+        self,
+        programs: Sequence[Program],
+        nreg: int = 128,
+        mem_latency: int = 20,
+        ctx_cost: int = 1,
+        memory: Optional[Memory] = None,
+        assignment=None,
+        measure_iterations: Optional[int] = None,
+        latency_regions: Optional[Sequence[Tuple[int, int, int]]] = None,
+        trace: bool = False,
+        timeline: Optional[bool] = None,
+        n_lanes: int = 1,
+        memories: Optional[Sequence[Memory]] = None,
+    ):
+        if not programs:
+            raise SimulationError("machine needs at least one thread")
+        if n_lanes < 1:
+            raise SimulationError("batch needs at least one lane")
+        if trace:
+            raise EngineError(
+                "the batch engine does not record instruction traces; "
+                "use the reference engine (engine='reference') for trace=True"
+            )
+        if timeline:
+            raise EngineError(
+                "the batch engine does not record run/switch/idle timelines; "
+                "use the reference engine (engine='reference') for "
+                "timeline=True"
+            )
+        if assignment is not None:
+            raise EngineError(
+                "the batch engine does not implement the paranoid "
+                "register-safety checker; use the reference engine "
+                "(engine='reference') for runs with a RegisterAssignment"
+            )
+        if memory is not None and n_lanes > 1:
+            raise EngineError(
+                "a shared Memory cannot back a multi-lane batch; pass "
+                "per-lane memories=[...] or let each lane get its own"
+            )
+        if memories is not None and len(memories) != n_lanes:
+            raise SimulationError(
+                f"got {len(memories)} memories for {n_lanes} lanes"
+            )
+        self.nreg = nreg
+        self.n_lanes = n_lanes
+        self.mem_latency = mem_latency
+        self.ctx_cost = ctx_cost
+        self.measure_iterations = measure_iterations
+        self.latency_regions = list(latency_regions or ())
+        self.assignment = None
+        # Interface parity with the other engines.
+        self.trace_log = None
+        self.timeline = None
+        if memories is not None:
+            self.memories = list(memories)
+        elif memory is not None:
+            self.memories = [memory]
+        else:
+            self.memories = [Memory() for _ in range(n_lanes)]
+        self.regfile = np.zeros((nreg, n_lanes), dtype=np.uint64)
+        #: Lanes share ONE decode per program (identity+fingerprint
+        #: cached, same as the fast engine's sweep reuse).
+        self._decoded = [decode_cached(p) for p in programs]
+        self._vfiles = [
+            np.zeros((d.n_vregs, n_lanes), dtype=np.uint64)
+            for d in self._decoded
+        ]
+        #: Per-(lane, tid) architectural thread state (queues, stores,
+        #: stats) -- reused from the reference engine verbatim.
+        self._contexts: List[List[ThreadContext]] = [
+            [ThreadContext(tid=i, program=p) for i, p in enumerate(programs)]
+            for _ in range(n_lanes)
+        ]
+        self._n_threads = len(programs)
+        self.cycle = 0
+        self._cycles = [0] * n_lanes
+        self._idles = [0] * n_lanes
+        self._switches = [0] * n_lanes
+        self._halted = [0] * n_lanes
+        self._pcs = [[0] * self._n_threads for _ in range(n_lanes)]
+        #: Per-(thread, slot, lane) counter deltas.  numpy so that a
+        #: whole lane group's shared deltas land in ONE indexed add per
+        #: slot at each scheduling boundary (the deltas are scalars
+        #: shared by the group; see _settle_csb_group).
+        self._counts = np.zeros(
+            (self._n_threads, _N_COUNTS, n_lanes), dtype=np.int64
+        )
+        #: Deferred register writebacks per (lane, tid): one
+        #: ``(row_view, value)`` tuple (LOAD/RECV) or a list of them
+        #: (LOADQ), applied when the thread next holds the PU.
+        self._writebacks: List[List[Optional[object]]] = [
+            [None] * self._n_threads for _ in range(n_lanes)
+        ]
+        self._errors: List[Optional[SimulationError]] = [None] * n_lanes
+        self._finished = [False] * n_lanes
+        self._ready: List[deque] = [deque() for _ in range(n_lanes)]
+        self._pending: List[List[Tuple[int, int]]] = [
+            [] for _ in range(n_lanes)
+        ]
+        self._arange = np.arange(n_lanes, dtype=np.intp)
+        self._lane_list = list(range(n_lanes))
+        #: Reusable work arrays for the full-width in-place fast path:
+        #: shift amounts and comparison masks are consumed within the
+        #: dispatch-loop iteration that produced them.
+        self._scratch = np.empty(n_lanes, dtype=np.uint64)
+        self._bscratch = np.empty(n_lanes, dtype=np.bool_)
+        self._splits = 0
+        self._code: List[List[Optional[Callable]]] = []
+        self._csbs: List[List[Optional[Tuple]]] = []
+        self._is_alu: List[List[int]] = []
+        self._is_mov: List[List[int]] = []
+        for tid, d in enumerate(self._decoded):
+            code, csbs, is_alu, is_mov = self._bind_thread(tid, d)
+            self._code.append(code)
+            self._csbs.append(csbs)
+            self._is_alu.append(is_alu)
+            self._is_mov.append(is_mov)
+
+    # ------------------------------------------------------------------
+    # Single-lane compatibility surface (engine registry / run_threads).
+    # ------------------------------------------------------------------
+    @property
+    def threads(self) -> List[ThreadContext]:
+        """Lane 0's thread contexts (the whole machine when
+        ``n_lanes == 1``)."""
+        return self._contexts[0]
+
+    @property
+    def memory(self) -> Memory:
+        return self.memories[0]
+
+    def lane_threads(self, lane: int) -> List[ThreadContext]:
+        return self._contexts[lane]
+
+    def lane_regfile(self, lane: int) -> List[int]:
+        """One lane's physical register file as plain ints."""
+        return [int(v) for v in self.regfile[:, lane]]
+
+    # ------------------------------------------------------------------
+    # Binding: decoded tuples -> per-thread vectorized closures.  Done
+    # once per thread, NOT per lane -- a closure's row views cover every
+    # lane's column at once.
+    # ------------------------------------------------------------------
+    def _bind_thread(self, tid: int, d: dc.DecodedProgram):
+        regfile = self.regfile
+        vfile = self._vfiles[tid]
+        nreg = self.nreg
+        scratch = self._scratch
+        bscratch = self._bscratch
+
+        def res(ref: dc.RegRef):
+            """(is_phys, index) -> ``(n_lanes,)`` row view, or None when
+            the physical index is outside the register file (executing
+            the instruction must raise, exactly like the reference)."""
+            is_phys, idx = ref
+            if is_phys:
+                if not 0 <= idx < nreg:
+                    return None
+                return regfile[idx]
+            return vfile[idx]
+
+        def bad(idx_refs):
+            for is_phys, idx in idx_refs:
+                if is_phys and not 0 <= idx < nreg:
+                    return _bind_bad_reg(
+                        f"register $r{idx} outside file of {nreg}"
+                    )
+            return None
+
+        code: List[Optional[Callable]] = []
+        csbs: List[Optional[Tuple]] = []
+        is_alu: List[int] = []
+        is_mov: List[int] = []
+        for pc, t in enumerate(d.instrs):
+            kind = t[0]
+            npc = pc + 1
+            fn = None
+            csb = None
+            alu = mov = 0
+            if kind == dc.K_ALU_RR:
+                _, f, dr, ar, br = t
+                fn = bad((dr, ar, br))
+                if fn is None:
+                    fn = _bind_alu_rr(
+                        f, res(dr), res(ar), res(br), npc, scratch
+                    )
+                alu = 1
+            elif kind == dc.K_ALU_RI:
+                _, f, dr, ar, imm = t
+                fn = bad((dr, ar))
+                if fn is None:
+                    # ALU immediates are masked to 32 bits at bind time:
+                    # add/sub/mul are congruent mod 2**32, bitwise ops and
+                    # shift counts depend only on the low bits, and uint64
+                    # arithmetic on two <2**32 operands never overflows.
+                    fn = _bind_alu_ri(f, res(dr), res(ar), imm & _M, npc)
+                alu = 1
+            elif kind == dc.K_MOV:
+                _, dr, sr = t
+                fn = bad((dr, sr)) or _bind_mov(res(dr), res(sr), npc)
+                mov = 1
+            elif kind == dc.K_MOVI:
+                _, dr, imm = t
+                fn = bad((dr,)) or _bind_movi(res(dr), imm & _M, npc)
+                alu = 1
+            elif kind == dc.K_NOP:
+                fn = _bind_br(npc)
+            elif kind == dc.K_BR:
+                fn = _bind_br(t[1])
+            elif kind == dc.K_COND_RR:
+                _, f, ar, br, target = t
+                fn = bad((ar, br)) or _bind_cond_rr(
+                    f, res(ar), res(br), target, npc, bscratch
+                )
+            elif kind == dc.K_COND_RI:
+                _, f, ar, imm, target = t
+                fn = bad((ar,))
+                if fn is None:
+                    folded = _fold_cond_imm(f, imm)
+                    if folded is None:
+                        fn = _bind_cond_ri(
+                            f, res(ar), imm, target, npc, bscratch
+                        )
+                    else:
+                        # Out-of-range immediate: the comparison is a
+                        # constant, the branch an unconditional jump.
+                        fn = _bind_br(target if folded else npc)
+            elif kind == dc.K_LOAD:
+                _, drr, br, off = t
+                fn = bad((drr, br))
+                if fn is None:
+                    csb = (dc.K_LOAD, res(drr), res(br), off)
+            elif kind == dc.K_LOADQ:
+                _, drs, br, off = t
+                fn = bad(drs + (br,))
+                if fn is None:
+                    csb = (
+                        dc.K_LOADQ,
+                        tuple(res(r) for r in drs),
+                        res(br),
+                        off,
+                    )
+            elif kind == dc.K_STORE:
+                _, sr, br, off = t
+                fn = bad((sr, br))
+                if fn is None:
+                    csb = (dc.K_STORE, res(sr), res(br), off)
+            elif kind == dc.K_STOREQ:
+                _, srs, br, off = t
+                fn = bad(srs + (br,))
+                if fn is None:
+                    csb = (
+                        dc.K_STOREQ,
+                        tuple(res(r) for r in srs),
+                        res(br),
+                        off,
+                    )
+            elif kind == dc.K_RECV:
+                _, drr = t
+                fn = bad((drr,))
+                if fn is None:
+                    csb = (dc.K_RECV, res(drr))
+            elif kind == dc.K_SEND:
+                _, sr = t
+                fn = bad((sr,))
+                if fn is None:
+                    csb = (dc.K_SEND, res(sr))
+            elif kind == dc.K_CTX:
+                csb = (dc.K_CTX,)
+            elif kind == dc.K_HALT:
+                csb = (dc.K_HALT,)
+            else:  # pragma: no cover - decode() is exhaustive
+                raise SimulationError(f"unbound decode kind {kind}")
+            if fn is not None:
+                code.append(fn)
+                csbs.append(None)
+            else:
+                code.append(None)
+                csbs.append(csb)
+            is_alu.append(alu)
+            is_mov.append(mov)
+        # Falling off the end must fail the lane, as in the reference.
+        code.append(None)
+        csbs.append((dc.K_OFF_END,))
+        is_alu.append(0)
+        is_mov.append(0)
+        return code, csbs, is_alu, is_mov
+
+    # ------------------------------------------------------------------
+    # Per-lane scalar scheduler (mirrors the fast engine's loop exactly).
+    # ------------------------------------------------------------------
+    def _advance_all(
+        self,
+        active: List[int],
+        max_cycles: int,
+        stop_on_first_halt: bool,
+    ) -> Dict[Tuple[int, int], List[int]]:
+        """Advance every active lane's scheduler to its next burst.
+
+        Returns the lanes granted the PU (deferred writebacks applied)
+        grouped by the ``(tid, pc)`` they will execute; lanes that
+        finished or failed are recorded in ``_finished``/``_errors`` and
+        omitted.  One method call covers the whole batch -- the per-lane
+        loop runs over locals, which measurably matters on kernels that
+        hit a scheduling boundary every few instructions.
+        """
+        groups: Dict[Tuple[int, int], List[int]] = {}
+        cycles = self._cycles
+        readys = self._ready
+        pendings = self._pending
+        idles = self._idles
+        halteds = self._halted
+        pcs = self._pcs
+        writebacks = self._writebacks
+        errors = self._errors
+        finished = self._finished
+        heappop = heapq.heappop
+        for lane in active:
+            cycle = cycles[lane]
+            ready = readys[lane]
+            pending = pendings[lane]
+            while True:
+                if stop_on_first_halt and halteds[lane]:
+                    cycles[lane] = cycle
+                    finished[lane] = True
+                    break
+                if cycle > max_cycles:
+                    cycles[lane] = cycle
+                    errors[lane] = WatchdogError(
+                        f"exceeded {max_cycles} cycles; runaway program?"
+                    )
+                    break
+                while pending and pending[0][0] <= cycle:
+                    ready.append(heappop(pending)[1])
+                if not ready:
+                    if not pending:
+                        cycles[lane] = cycle
+                        finished[lane] = True
+                        break  # everything halted
+                    target = pending[0][0]
+                    idles[lane] += target - cycle
+                    cycle = target
+                    continue
+                tid = ready.popleft()
+                cycles[lane] = cycle
+                wb = writebacks[lane][tid]
+                if wb is not None:
+                    writebacks[lane][tid] = None
+                    if type(wb) is tuple:
+                        wb[0][lane] = wb[1]
+                    else:
+                        for row, value in wb:
+                            row[lane] = value
+                key = (tid, pcs[lane][tid])
+                grp = groups.get(key)
+                if grp is None:
+                    groups[key] = [lane]
+                else:
+                    grp.append(lane)
+                break
+        return groups
+
+    def _advance_all_single(
+        self,
+        active: List[int],
+        max_cycles: int,
+        stop_on_first_halt: bool,
+    ) -> Dict[Tuple[int, int], List[int]]:
+        """:meth:`_advance_all` specialized for single-thread lanes.
+
+        With one thread per lane the scheduler degenerates: the ready
+        queue and wake heap each hold at most one entry and are never
+        populated together, so the grant decision is a couple of
+        branches -- worth it because seed sweeps (the batch engine's
+        main diet) are nearly always one program per lane.  The check
+        order (halt stop, watchdog, wake/idle, watchdog after idle)
+        matches the general loop exactly.
+        """
+        groups: Dict[Tuple[int, int], List[int]] = {}
+        cycles = self._cycles
+        readys = self._ready
+        pendings = self._pending
+        idles = self._idles
+        halteds = self._halted
+        pcs = self._pcs
+        writebacks = self._writebacks
+        errors = self._errors
+        finished = self._finished
+        for lane in active:
+            cycle = cycles[lane]
+            if stop_on_first_halt and halteds[lane]:
+                finished[lane] = True
+                continue
+            if cycle > max_cycles:
+                errors[lane] = WatchdogError(
+                    f"exceeded {max_cycles} cycles; runaway program?"
+                )
+                continue
+            ready = readys[lane]
+            if ready:
+                ready.popleft()
+            else:
+                pending = pendings[lane]
+                if not pending:
+                    finished[lane] = True
+                    continue
+                wake = pending[0][0]
+                if wake > cycle:
+                    idles[lane] += wake - cycle
+                    cycle = wake
+                    if cycle > max_cycles:
+                        cycles[lane] = cycle
+                        errors[lane] = WatchdogError(
+                            f"exceeded {max_cycles} cycles; "
+                            "runaway program?"
+                        )
+                        continue
+                    cycles[lane] = cycle
+                del pending[0]
+            wb = writebacks[lane][0]
+            if wb is not None:
+                writebacks[lane][0] = None
+                if type(wb) is tuple:
+                    wb[0][lane] = wb[1]
+                else:
+                    for row, value in wb:
+                        row[lane] = value
+            key = (0, pcs[lane][0])
+            grp = groups.get(key)
+            if grp is None:
+                groups[key] = [lane]
+            else:
+                grp.append(lane)
+        return groups
+
+    # ------------------------------------------------------------------
+    # Vectorized burst: one (tid, pc) lane group runs to its context-
+    # switch boundaries, splitting on divergent branches.
+    # ------------------------------------------------------------------
+    def _run_burst(
+        self, tid: int, pc0: int, lanes: List[int], max_cycles: int
+    ) -> None:
+        code = self._code[tid]
+        is_alu = self._is_alu[tid]
+        is_mov = self._is_mov[tid]
+        cycles = self._cycles
+        # The runaway budget is tracked as one scalar: the smallest
+        # remaining budget in the group.  Per-lane budgets are only
+        # materialized in the (rare) branch below where some lane may
+        # actually have exhausted its own.  A subgroup carries its
+        # parent's minimum after a split -- a lower bound, re-tightened
+        # in that same branch -- because budgets never change mid-burst.
+        if len(lanes) == self.n_lanes:
+            L = _FULL
+            min_bud = max_cycles + 1 - max(cycles)
+        else:
+            L = np.array(lanes, dtype=np.intp)
+            min_bud = max_cycles + 1 - max(cycles[l] for l in lanes)
+        # Worklist of divergent subgroups.  Every lane in an item has
+        # executed exactly the same instruction sequence this burst, so
+        # the executed/alu/move counts are scalars shared by the group.
+        work = [(pc0, L, min_bud, 0, 0, 0)]
+        while work:
+            pc, L, min_bud, n, n_alu, n_mov = work.pop()
+            while True:
+                if n >= min_bud:
+                    # Some lane may have exhausted its runaway budget:
+                    # fail exactly those, keep executing the others
+                    # (per-lane watchdog).
+                    arr = self._arange if L is _FULL else L
+                    lanes_py = arr.tolist()
+                    buds = [max_cycles + 1 - cycles[l] for l in lanes_py]
+                    keep = [
+                        l for l, bd in zip(lanes_py, buds) if bd > n
+                    ]
+                    if len(keep) != len(lanes_py):
+                        for lx, bd in zip(lanes_py, buds):
+                            if bd <= n:
+                                self._watchdog_lane(
+                                    lx, tid, pc, n, n_alu, n_mov, max_cycles
+                                )
+                        if not keep:
+                            break
+                        L = np.array(keep, dtype=np.intp)
+                        min_bud = max_cycles + 1 - max(
+                            cycles[l] for l in keep
+                        )
+                    else:
+                        min_bud = min(buds)
+                entry = code[pc]
+                if entry is None:
+                    # Context-switch boundary (or off-end sentinel):
+                    # queues, memory, and wake times are scalar per-lane
+                    # state, settled for the whole group at once.
+                    lanes_py = self._lane_list if L is _FULL else L.tolist()
+                    self._settle_csb_group(
+                        tid, pc, L, lanes_py, n, n_alu, n_mov
+                    )
+                    break
+                try:
+                    r = entry(L)
+                except SimulationError as exc:
+                    lanes_py = self._lane_list if L is _FULL else L.tolist()
+                    for lx in lanes_py:
+                        self._exec_fail(lx, tid, pc, n, n_alu, n_mov, exc)
+                    break
+                n += 1
+                n_alu += is_alu[pc]
+                n_mov += is_mov[pc]
+                if type(r) is int:
+                    pc = r
+                else:
+                    taken, fall, mask = r
+                    if mask.all():
+                        pc = taken
+                    elif not mask.any():
+                        pc = fall
+                    else:
+                        # Divergence: split the group; the taken half is
+                        # parked on the worklist, the fall-through half
+                        # continues (both halves share this burst's
+                        # executed counts so far).
+                        self._splits += 1
+                        arr = self._arange if L is _FULL else L
+                        work.append(
+                            (taken, arr[mask], min_bud, n, n_alu, n_mov)
+                        )
+                        L = arr[~mask]
+                        pc = fall
+
+    def _flush_burst(
+        self, lane: int, tid: int, n: int, n_alu: int, n_mov: int
+    ) -> None:
+        ca = self._counts[tid]
+        ca[0, lane] += n_alu
+        ca[1, lane] += n_mov
+        ca[2, lane] += n
+        ca[3, lane] += n
+        self._cycles[lane] += n
+
+    def _watchdog_lane(
+        self,
+        lane: int,
+        tid: int,
+        pc: int,
+        n: int,
+        n_alu: int,
+        n_mov: int,
+        max_cycles: int,
+    ) -> None:
+        self._flush_burst(lane, tid, n, n_alu, n_mov)
+        self._pcs[lane][tid] = pc
+        self._errors[lane] = WatchdogError(
+            f"exceeded {max_cycles} cycles; runaway program?"
+        )
+
+    def _exec_fail(
+        self,
+        lane: int,
+        tid: int,
+        pc: int,
+        n: int,
+        n_alu: int,
+        n_mov: int,
+        exc: SimulationError,
+    ) -> None:
+        self._flush_burst(lane, tid, n, n_alu, n_mov)
+        self._pcs[lane][tid] = pc
+        self._errors[lane] = exc
+
+    # ------------------------------------------------------------------
+    # Context-switch boundaries, settled per lane GROUP (mirrors the
+    # fast engine's per-boundary bookkeeping exactly).  The kind
+    # dispatch, register reads, and counter deltas are shared by the
+    # whole group: register values leave numpy via one bulk ``tolist()``
+    # instead of one boxed scalar extraction per lane, which is where
+    # CSB-heavy kernels used to spend most of their time.  Queues,
+    # memory words, and wake heaps stay scalar per-lane state.
+    #
+    # Per lane the bookkeeping is: rest the thread at the boundary pc (a
+    # halted thread stays at its ``halt``; relinquishing kinds advance
+    # it to pc+1), charge the burst's counters plus the boundary
+    # instruction, then apply the kind's effect.
+    # ------------------------------------------------------------------
+    def _settle_csb_group(
+        self,
+        tid: int,
+        pc: int,
+        L,
+        lanes: List[int],
+        n: int,
+        n_alu: int,
+        n_mov: int,
+    ) -> None:
+        csb = self._csbs[tid][pc]
+        kind = csb[0]
+        contexts = self._contexts
+        ca = self._counts[tid]
+        cycles = self._cycles
+        pcs = self._pcs
+        switches = self._switches
+        errors = self._errors
+        ctx_cost = self.ctx_cost
+        issued = n + 1
+        npc = pc + 1
+        # Counter deltas are scalars shared by the whole group, so every
+        # slot is charged in ONE (possibly fancy-) indexed add; ``L`` is
+        # a plain slice for full-width groups.  Lanes that fail on an
+        # illegal address below are corrected afterwards (rare).
+        if kind == dc.K_CTX:
+            ca[0, L] += n_alu
+            ca[1, L] += n_mov
+            ca[2, L] += issued
+            ca[3, L] += issued + ctx_cost
+            ca[5, L] += 1  # ctx_instrs
+            ca[6, L] += 1
+            readys = self._ready
+            for lane in lanes:
+                pcs[lane][tid] = npc
+                readys[lane].append(tid)
+                cycles[lane] += issued + ctx_cost
+                switches[lane] += ctx_cost
+            return
+        if kind == dc.K_HALT:
+            ca[0, L] += n_alu
+            ca[1, L] += n_mov
+            ca[2, L] += issued
+            ca[3, L] += issued + ctx_cost
+            ca[6, L] += 1
+            halted = self._halted
+            for lane in lanes:
+                pcs[lane][tid] = pc
+                thread = contexts[lane][tid]
+                thread.halted = True
+                halted[lane] += 1
+                thread.stats.finish_cycle = cycles[lane] + issued
+                cycles[lane] += issued + ctx_cost
+                switches[lane] += ctx_cost
+            return
+        if kind == dc.K_OFF_END:
+            # Falling off the end fails the lane, as in the reference.
+            for lane in lanes:
+                ca[0, lane] += n_alu
+                ca[1, lane] += n_mov
+                ca[2, lane] += n
+                ca[3, lane] += n
+                cycles[lane] += n
+                pcs[lane][tid] = pc
+                errors[lane] = SimulationError(
+                    f"thread {tid} ran off the end of "
+                    f"{contexts[lane][tid].program.name!r}"
+                )
+            return
+
+        # Blocking memory/queue kinds: apply the effect, schedule the
+        # wake, charge the context switch (the fast engine's common
+        # path).  ``cyc`` is the lane's cycle count after the boundary
+        # instruction issues; the wake lands ``latency`` after it and
+        # the PU is freed ``ctx_cost`` later.
+        memories = self.memories
+        pendings = self._pending
+        writebacks = self._writebacks
+        heappush = heapq.heappush
+        base_latency = self.mem_latency
+        lat_regions = self.latency_regions
+        if kind == dc.K_RECV and self.measure_iterations is not None:
+            # CPI measurement reads a lane's running busy/iteration
+            # counters mid-flight; keep that path fully scalar.
+            self._settle_recv_measured(
+                tid, pc, lanes, n, n_alu, n_mov
+            )
+            return
+        ca[0, L] += n_alu
+        ca[1, L] += n_mov
+        ca[2, L] += issued
+        ca[3, L] += issued + ctx_cost
+        ca[4, L] += 1  # mem_ops
+        ca[6, L] += 1
+        bad = None
+        if kind == dc.K_STORE:
+            _, srow, brow, off = csb
+            bases = (brow if L is _FULL else brow[L]).tolist()
+            vals = (srow if L is _FULL else srow[L]).tolist()
+            for lane, base, value in zip(lanes, bases, vals):
+                cyc = cycles[lane] + issued
+                addr = (base + off) & _M
+                memory = memories[lane]
+                if addr >= memory.size:
+                    pcs[lane][tid] = pc
+                    cycles[lane] = cyc
+                    errors[lane] = SimulationError(
+                        f"address {addr:#x} outside memory of "
+                        f"{memory.size:#x} words"
+                    )
+                    bad = [lane] if bad is None else bad + [lane]
+                    continue
+                memory._words[addr] = value
+                contexts[lane][tid].stores.append((addr, value))
+                latency = base_latency
+                if lat_regions:
+                    for lo, hi, lat in lat_regions:
+                        if lo <= addr < hi:
+                            latency = lat
+                            break
+                heappush(pendings[lane], (cyc + latency, tid))
+                pcs[lane][tid] = npc
+                cycles[lane] = cyc + ctx_cost
+                switches[lane] += ctx_cost
+        elif kind == dc.K_LOAD:
+            _, drow, brow, off = csb
+            bases = (brow if L is _FULL else brow[L]).tolist()
+            for lane, base in zip(lanes, bases):
+                cyc = cycles[lane] + issued
+                addr = (base + off) & _M
+                memory = memories[lane]
+                if addr >= memory.size:
+                    pcs[lane][tid] = pc
+                    cycles[lane] = cyc
+                    errors[lane] = SimulationError(
+                        f"address {addr:#x} outside memory of "
+                        f"{memory.size:#x} words"
+                    )
+                    bad = [lane] if bad is None else bad + [lane]
+                    continue
+                writebacks[lane][tid] = (
+                    drow, memory._words.get(addr, 0)
+                )
+                latency = base_latency
+                if lat_regions:
+                    for lo, hi, lat in lat_regions:
+                        if lo <= addr < hi:
+                            latency = lat
+                            break
+                heappush(pendings[lane], (cyc + latency, tid))
+                pcs[lane][tid] = npc
+                cycles[lane] = cyc + ctx_cost
+                switches[lane] += ctx_cost
+        elif kind == dc.K_LOADQ:
+            _, drows, brow, off = csb
+            nw = len(drows)
+            bases = (brow if L is _FULL else brow[L]).tolist()
+            for lane, base in zip(lanes, bases):
+                cyc = cycles[lane] + issued
+                addr = (base + off) & _M
+                memory = memories[lane]
+                mwords = memory._words
+                if addr + nw <= memory.size:
+                    # In-bounds and wrap-free: skip per-word checks.
+                    mget = mwords.get
+                    wb = [
+                        (drow, mget(addr + k, 0))
+                        for k, drow in enumerate(drows)
+                    ]
+                else:
+                    msize = memory.size
+                    wb = []
+                    for k, drow in enumerate(drows):
+                        word = (addr + k) & _M
+                        if word >= msize:
+                            pcs[lane][tid] = pc
+                            cycles[lane] = cyc
+                            errors[lane] = SimulationError(
+                                f"address {word:#x} outside memory of "
+                                f"{msize:#x} words"
+                            )
+                            wb = None
+                            break
+                        wb.append((drow, mwords.get(word, 0)))
+                    if wb is None:
+                        bad = [lane] if bad is None else bad + [lane]
+                        continue
+                writebacks[lane][tid] = wb
+                latency = base_latency
+                if lat_regions:
+                    for lo, hi, lat in lat_regions:
+                        if lo <= addr < hi:
+                            latency = lat
+                            break
+                heappush(pendings[lane], (cyc + latency, tid))
+                pcs[lane][tid] = npc
+                cycles[lane] = cyc + ctx_cost
+                switches[lane] += ctx_cost
+        elif kind == dc.K_STOREQ:
+            _, srows, brow, off = csb
+            nw = len(srows)
+            bases = (brow if L is _FULL else brow[L]).tolist()
+            vals_rows = list(zip(*(
+                (srow if L is _FULL else srow[L]).tolist()
+                for srow in srows
+            )))
+            for i, lane in enumerate(lanes):
+                cyc = cycles[lane] + issued
+                addr = (bases[i] + off) & _M
+                memory = memories[lane]
+                mwords = memory._words
+                stores = contexts[lane][tid].stores
+                vals = vals_rows[i]
+                if addr + nw <= memory.size:
+                    # In-bounds and wrap-free: skip per-word checks.
+                    for k, value in enumerate(vals):
+                        word = addr + k
+                        mwords[word] = value
+                        stores.append((word, value))
+                else:
+                    msize = memory.size
+                    failed = False
+                    for k, value in enumerate(vals):
+                        word = (addr + k) & _M
+                        if word >= msize:
+                            pcs[lane][tid] = pc
+                            cycles[lane] = cyc
+                            errors[lane] = SimulationError(
+                                f"address {word:#x} outside memory of "
+                                f"{msize:#x} words"
+                            )
+                            failed = True
+                            break
+                        mwords[word] = value
+                        stores.append((word, value))
+                    if failed:
+                        bad = [lane] if bad is None else bad + [lane]
+                        continue
+                latency = base_latency
+                if lat_regions:
+                    for lo, hi, lat in lat_regions:
+                        if lo <= addr < hi:
+                            latency = lat
+                            break
+                heappush(pendings[lane], (cyc + latency, tid))
+                pcs[lane][tid] = npc
+                cycles[lane] = cyc + ctx_cost
+                switches[lane] += ctx_cost
+        elif kind == dc.K_RECV:
+            _, drow = csb
+            inc = []
+            for lane in lanes:
+                cyc = cycles[lane] + issued
+                thread = contexts[lane][tid]
+                base = thread.next_packet()
+                if base:
+                    inc.append(lane)
+                writebacks[lane][tid] = (drow, base & _M)
+                heappush(pendings[lane], (cyc + base_latency, tid))
+                pcs[lane][tid] = npc
+                cycles[lane] = cyc + ctx_cost
+                switches[lane] += ctx_cost
+            if inc:
+                ca[7, inc] += 1  # iterations
+        elif kind == dc.K_SEND:
+            _, srow = csb
+            vals = (srow if L is _FULL else srow[L]).tolist()
+            for lane, value in zip(lanes, vals):
+                cyc = cycles[lane] + issued
+                contexts[lane][tid].out_queue.append(value)
+                heappush(pendings[lane], (cyc + base_latency, tid))
+                pcs[lane][tid] = npc
+                cycles[lane] = cyc + ctx_cost
+                switches[lane] += ctx_cost
+        else:  # pragma: no cover - binding is exhaustive
+            raise SimulationError(f"unhandled CSB kind {kind}")
+        if bad is not None:
+            # Failed lanes never issued the blocking op or relinquished:
+            # take back the pre-charged tail.
+            for lane in bad:
+                ca[3, lane] -= ctx_cost
+                ca[4, lane] -= 1
+                ca[6, lane] -= 1
+
+    def _settle_recv_measured(
+        self, tid: int, pc: int, lanes: List[int], n: int,
+        n_alu: int, n_mov: int,
+    ) -> None:
+        """``recv`` under CPI measurement: the mark/CPI decision reads a
+        lane's running iteration/busy counters, so everything stays
+        scalar per lane (bookkeeping order identical to the fast
+        engine)."""
+        _, drow = self._csbs[tid][pc]
+        contexts = self._contexts
+        ca = self._counts[tid]
+        cycles = self._cycles
+        pcs = self._pcs
+        switches = self._switches
+        ctx_cost = self.ctx_cost
+        issued = n + 1
+        npc = pc + 1
+        measure_k = self.measure_iterations
+        base_latency = self.mem_latency
+        writebacks = self._writebacks
+        pendings = self._pending
+        heappush = heapq.heappush
+        for lane in lanes:
+            ca[0, lane] += n_alu
+            ca[1, lane] += n_mov
+            ca[2, lane] += issued
+            ca[3, lane] += issued
+            cyc = cycles[lane] + issued
+            thread = contexts[lane][tid]
+            base = thread.next_packet()
+            if base:
+                ca[7, lane] += 1  # iterations
+                iters = thread.stats.iterations + int(ca[7, lane])
+                busy = thread.stats.busy_cycles + int(ca[3, lane])
+                if iters == 1:
+                    thread.busy_mark = busy
+                elif (
+                    iters == measure_k + 1
+                    and thread.busy_mark is not None
+                ):
+                    thread.stats.measured_cpi = (
+                        busy - thread.busy_mark
+                    ) / measure_k
+            writebacks[lane][tid] = (drow, base & _M)
+            ca[3, lane] += ctx_cost
+            ca[4, lane] += 1
+            ca[6, lane] += 1
+            heappush(pendings[lane], (cyc + base_latency, tid))
+            pcs[lane][tid] = npc
+            cycles[lane] = cyc + ctx_cost
+            switches[lane] += ctx_cost
+
+    # ------------------------------------------------------------------
+    # Execution entry points.
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        max_cycles: int = 50_000_000,
+        stop_on_first_halt: bool = False,
+    ) -> MachineStats:
+        """Single-lane run with the other engines' interface: returns
+        the lane's :class:`MachineStats`, raising its error directly."""
+        if self.n_lanes != 1:
+            raise EngineError(
+                f"run() drives a single lane; this batch has "
+                f"{self.n_lanes} -- use run_batch()"
+            )
+        result = self.run_batch(
+            max_cycles=max_cycles, stop_on_first_halt=stop_on_first_halt
+        )[0]
+        if result.error is not None:
+            raise result.error
+        return result.stats
+
+    def run_batch(
+        self,
+        max_cycles: int = 50_000_000,
+        stop_on_first_halt: bool = False,
+    ) -> List[LaneResult]:
+        """Run every lane to completion; per-lane outcomes in lane order.
+
+        A lane that fails (watchdog, illegal address) is reported in its
+        :class:`LaneResult` -- healthy lanes are unaffected and still
+        return full stats.
+        """
+        if faults.active() is not None:
+            raise EngineError(
+                "the batch engine cannot honour an armed fault-injection "
+                "plan (per-machine RNG event order is undefined across "
+                "lanes); use engine='fast' or engine='reference'"
+            )
+        n_lanes = self.n_lanes
+        for lane in range(n_lanes):
+            self._ready[lane] = deque(range(self._n_threads))
+            self._pending[lane] = []
+        self._splits = 0
+        active = [
+            lane
+            for lane in range(n_lanes)
+            if self._errors[lane] is None and not self._finished[lane]
+        ]
+        errors = self._errors
+        advance = (
+            self._advance_all_single
+            if self._n_threads == 1
+            else self._advance_all
+        )
+        while active:
+            groups = advance(active, max_cycles, stop_on_first_halt)
+            if not groups:
+                break
+            for (tid, pc), lanes in groups.items():
+                self._run_burst(tid, pc, lanes, max_cycles)
+            active = [
+                lane
+                for lanes in groups.values()
+                for lane in lanes
+                if errors[lane] is None
+            ]
+
+        results: List[LaneResult] = []
+        for lane in range(n_lanes):
+            error = self._errors[lane]
+            if error is not None:
+                results.append(LaneResult(lane=lane, error=error))
+                continue
+            contexts = self._contexts[lane]
+            for tid, thread in enumerate(contexts):
+                thread.pc = self._pcs[lane][tid]
+                thread.blocked_until = None
+            for wake_at, tid in self._pending[lane]:
+                contexts[tid].blocked_until = wake_at
+            for tid, thread in enumerate(contexts):
+                cnt = self._counts[tid, :, lane].tolist()
+                st = thread.stats
+                st.alu_ops += cnt[0]
+                st.moves += cnt[1]
+                st.instructions += cnt[2]
+                st.busy_cycles += cnt[3]
+                st.mem_ops += cnt[4]
+                st.ctx_instrs += cnt[5]
+                st.switches += cnt[6]
+                st.iterations += cnt[7]
+                self._counts[tid, :, lane] = 0
+                # Mirror final virtual-register values into the context
+                # (plain ints, same post-run surface as the reference).
+                names = self._decoded[tid].vreg_names
+                if names:
+                    col = self._vfiles[tid][:, lane].tolist()
+                    thread.vregs.update(zip(names, col))
+            results.append(
+                LaneResult(
+                    lane=lane,
+                    stats=MachineStats(
+                        cycles=self._cycles[lane],
+                        idle_cycles=self._idles[lane],
+                        switch_cycles=self._switches[lane],
+                        threads=[t.stats for t in contexts],
+                    ),
+                )
+            )
+        if n_lanes == 1:
+            self.cycle = self._cycles[0]
+        self._emit_metrics(results)
+        return results
+
+    def _emit_metrics(self, results: List[LaneResult]) -> None:
+        em = obs.get_emitter()
+        if not em.enabled:
+            return
+        ok = [r for r in results if r.ok]
+        total_cycles = sum(r.stats.cycles for r in ok)
+        reg = obs_metrics.registry()
+        reg.counter("sim.runs").inc(len(ok))
+        reg.counter("sim.runs", engine="batch").inc(len(ok))
+        reg.counter("sim.cycles").inc(total_cycles)
+        reg.counter("sim.cycles", engine="batch").inc(total_cycles)
+        labels = {
+            "lanes": self.n_lanes,
+            "kernel": self._contexts[0][0].program.name,
+        }
+        reg.counter("sim.batch.runs", **labels).inc()
+        reg.counter("sim.batch.lanes", **labels).inc(self.n_lanes)
+        reg.counter("sim.batch.splits", **labels).inc(self._splits)
+        errors = len(results) - len(ok)
+        if errors:
+            reg.counter("sim.batch.errors", **labels).inc(errors)
+        em.emit(
+            "sim.batch.run",
+            lanes=self.n_lanes,
+            kernel=labels["kernel"],
+            splits=self._splits,
+            errors=errors,
+            cycles=total_cycles,
+        )
+
+
+# ----------------------------------------------------------------------
+# Workload-level batch API.
+# ----------------------------------------------------------------------
+def build_batch_machine(
+    programs: Sequence[Program],
+    seeds: Sequence[int],
+    packets_per_thread: int = 32,
+    payload_words: int = 16,
+    vary_size: bool = False,
+    nreg: int = 128,
+    mem_latency: int = 20,
+    ctx_cost: int = 1,
+    measure_iterations: Optional[int] = None,
+    latency_regions: Optional[Sequence[Tuple[int, int, int]]] = None,
+) -> BatchMachine:
+    """A :class:`BatchMachine` with one lane per seed, each lane's
+    workload laid out exactly as :func:`repro.sim.run.run_threads` lays
+    it out for that seed (thread ``t`` draws packets from seed
+    ``seed + t`` at the standard per-thread packet areas)."""
+    from repro.sim.packets import make_workload
+    from repro.sim.run import PACKET_AREA_BASE, PACKET_AREA_STRIDE
+
+    machine = BatchMachine(
+        programs,
+        n_lanes=len(seeds),
+        nreg=nreg,
+        mem_latency=mem_latency,
+        ctx_cost=ctx_cost,
+        measure_iterations=measure_iterations,
+        latency_regions=latency_regions,
+    )
+    for lane, seed in enumerate(seeds):
+        memory = machine.memories[lane]
+        for tid, thread in enumerate(machine.lane_threads(lane)):
+            workload = make_workload(
+                memory,
+                base=PACKET_AREA_BASE + tid * PACKET_AREA_STRIDE,
+                n_packets=packets_per_thread,
+                payload_words=payload_words,
+                seed=seed + tid,
+                vary_size=vary_size,
+            )
+            thread.in_queue = list(workload.bases)
+    return machine
+
+
+def simulate_batch(
+    programs: Sequence[Program],
+    seeds: Sequence[int],
+    packets_per_thread: int = 32,
+    payload_words: int = 16,
+    vary_size: bool = False,
+    nreg: int = 128,
+    mem_latency: int = 20,
+    ctx_cost: int = 1,
+    max_cycles: int = 50_000_000,
+    stop_on_first_halt: bool = False,
+    measure_iterations: Optional[int] = None,
+    latency_regions: Optional[Sequence[Tuple[int, int, int]]] = None,
+    return_errors: bool = False,
+) -> List:
+    """Run ``programs`` once per seed as a single vectorized execution.
+
+    The default returns one :class:`MachineStats` per seed -- each lane
+    bit-identical to ``run_threads(programs, seed=s, ...)`` -- raising
+    the first failed lane's error.  ``return_errors=True`` instead
+    returns the per-lane :class:`LaneResult` list, letting callers see
+    which lanes failed while keeping the healthy lanes' stats.
+    """
+    machine = build_batch_machine(
+        programs,
+        seeds,
+        packets_per_thread=packets_per_thread,
+        payload_words=payload_words,
+        vary_size=vary_size,
+        nreg=nreg,
+        mem_latency=mem_latency,
+        ctx_cost=ctx_cost,
+        measure_iterations=measure_iterations,
+        latency_regions=latency_regions,
+    )
+    results = machine.run_batch(
+        max_cycles=max_cycles, stop_on_first_halt=stop_on_first_halt
+    )
+    if return_errors:
+        return results
+    for r in results:
+        if r.error is not None:
+            raise r.error
+    return [r.stats for r in results]

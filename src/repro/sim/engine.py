@@ -1,6 +1,6 @@
-"""Execution-engine selection: reference interpreter vs fast engine.
+"""Execution-engine selection: reference, fast, and batch engines.
 
-Two engines implement the machine model:
+Three engines implement the machine model:
 
 * ``"reference"`` -- :class:`~repro.sim.machine.Machine`, the semantics
   oracle.  Supports every feature: instruction tracing, timeline
@@ -8,25 +8,37 @@ Two engines implement the machine model:
 * ``"fast"`` -- :class:`~repro.sim.fast.FastMachine`, the pre-decoded
   burst engine.  Stats-identical to the reference but records no
   traces/timelines and performs no paranoid checks.
+* ``"batch"`` -- :class:`~repro.sim.batch.BatchMachine`, the numpy
+  struct-of-arrays lockstep engine.  Runs many machine instances as one
+  vectorized execution (see :func:`repro.sim.batch.simulate_batch`);
+  behind this registry it drives a single lane, with the fast engine's
+  feature restrictions.  Requires numpy: requesting it without numpy
+  installed raises :class:`~repro.errors.EngineError` -- never a silent
+  fallback.
 
 ``"auto"`` (the default) picks the fast engine whenever no
 reference-only feature is in play: an explicit ``trace``/``timeline``
 request, a :class:`RegisterAssignment` (paranoid mode), or an active
 telemetry capture (which the reference engine turns into timeline
-recording) all select the reference engine.
+recording) all select the reference engine.  Auto never picks batch --
+batching pays off when callers hand over whole seed sweeps, not single
+runs.
 
-Explicitly asking for ``engine="fast"`` together with a reference-only
-feature raises :class:`~repro.errors.EngineError`; when the *global
-default* (see :func:`set_default_engine`, used by the CLI's
-``--engine`` flag) is ``"fast"`` the conflict instead falls back to the
-reference engine with a :class:`RuntimeWarning` -- a harness-wide
+Explicitly asking for ``engine="fast"``/``"batch"`` together with a
+reference-only feature raises :class:`~repro.errors.EngineError`; when
+the *global default* (see :func:`set_default_engine`, used by the CLI's
+``--engine`` flag) names that engine the conflict instead falls back to
+the reference engine with a :class:`RuntimeWarning` -- a harness-wide
 preference should not explode the one allocated run inside a sweep.
+Each distinct conflict warns **once per process** (the degradation
+record and telemetry still fire per occurrence); a thousand-point sweep
+does not print a thousand identical warnings.
 """
 
 from __future__ import annotations
 
 import warnings
-from typing import Optional, Sequence, Tuple, Union
+from typing import Optional, Sequence, Set, Tuple, Union
 
 from repro.errors import EngineError
 from repro.ir.program import Program
@@ -36,12 +48,16 @@ from repro.sim.fast import FastMachine
 from repro.sim.machine import Machine
 
 #: Recognised engine names.
-ENGINES = ("auto", "fast", "reference")
+ENGINES = ("auto", "fast", "reference", "batch")
 
-#: Either concrete machine type (both expose the same run interface).
+#: Any concrete machine type (all expose the same run interface).
 AnyMachine = Union[Machine, FastMachine]
 
 _default_engine = "auto"
+
+#: Fallback-warning messages already issued this process (see module
+#: docstring: warn once per distinct conflict, not once per create()).
+_warned_fallbacks: Set[str] = set()
 
 
 def get_default_engine() -> str:
@@ -58,6 +74,11 @@ def set_default_engine(name: str) -> str:
     return previous
 
 
+def _reset_fallback_warnings() -> None:
+    """Forget which fallback warnings were issued (test hook)."""
+    _warned_fallbacks.clear()
+
+
 def _check_name(name: str) -> None:
     if name not in ENGINES:
         raise EngineError(
@@ -72,12 +93,12 @@ def select_engine(
     timeline: Optional[bool] = None,
     assignment=None,
 ) -> str:
-    """Resolve an engine request to ``"fast"`` or ``"reference"``.
+    """Resolve an engine request to a concrete engine name.
 
     ``engine=None`` consults the global default (non-strict: a
-    conflicting ``"fast"`` default falls back with a warning).  An
-    explicit ``engine="fast"`` is strict and raises
-    :class:`EngineError` on conflict.
+    conflicting ``"fast"``/``"batch"`` default falls back with a
+    once-per-process warning).  An explicit engine is strict and raises
+    :class:`EngineError` on conflict, naming the flag that forced it.
     """
     strict = engine is not None
     name = engine if engine is not None else _default_engine
@@ -100,25 +121,37 @@ def select_engine(
             return "reference"
         return "fast"
 
-    # name == "fast"
+    # name == "fast" or "batch"
     if blockers:
         message = (
-            "the fast engine does not support "
+            f"the {name} engine does not support "
             + ", ".join(blockers)
             + "; use engine='reference'"
         )
         if strict:
             raise EngineError(message)
-        warnings.warn(
-            message + " -- falling back to the reference engine",
-            RuntimeWarning,
-            stacklevel=3,
-        )
+        fallback_note = message + " -- falling back to the reference engine"
+        if fallback_note not in _warned_fallbacks:
+            _warned_fallbacks.add(fallback_note)
+            warnings.warn(fallback_note, RuntimeWarning, stacklevel=3)
         guard.record_degradation(
-            "engine.fast_to_reference", reason="; ".join(blockers)
+            f"engine.{name}_to_reference", reason="; ".join(blockers)
         )
         return "reference"
-    return "fast"
+    return name
+
+
+def _batch_machine_class():
+    """Import the batch engine, mapping a missing numpy to EngineError."""
+    try:
+        from repro.sim.batch import BatchMachine
+    except ImportError as exc:
+        raise EngineError(
+            "engine='batch' requires numpy, which is not importable "
+            f"({exc}); install the package dependencies or pick "
+            "engine='fast'"
+        ) from exc
+    return BatchMachine
 
 
 def create_machine(
@@ -138,12 +171,17 @@ def create_machine(
     """Build the machine the resolved engine calls for.
 
     The keyword surface matches :class:`~repro.sim.machine.Machine`, so
-    callers can switch engines without touching anything else.
+    callers can switch engines without touching anything else.  A
+    ``"batch"`` engine here is a single-lane batch; whole-sweep batching
+    goes through :func:`repro.sim.batch.simulate_batch`.
     """
     chosen = select_engine(
         engine, trace=trace, timeline=timeline, assignment=assignment
     )
-    cls = FastMachine if chosen == "fast" else Machine
+    if chosen == "batch":
+        cls = _batch_machine_class()
+    else:
+        cls = FastMachine if chosen == "fast" else Machine
     return cls(
         programs,
         nreg=nreg,

@@ -1,0 +1,522 @@
+"""Differential tests: every batch lane is bit-identical to a scalar run.
+
+The batch engine (:mod:`repro.sim.batch`) has no authority of its own --
+its only contract is producing, for every lane, exactly the reference
+interpreter's MachineStats, send queues, store traces, memory contents,
+and final thread state for the scalar run with that lane's seed.  These
+tests enforce that contract over the whole benchmark suite, mixed-kernel
+machines, every runtime knob, the lane-divergence edge cases (size-1
+batches, mixed watchdog lanes, shared decode), error paths, and
+hypothesis-generated programs, plus the engine-selection policy and the
+once-per-process fallback warning.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+np = pytest.importorskip("numpy")
+
+from repro.errors import EngineError, SimulationError, WatchdogError
+from repro.ir.parser import parse_program
+from repro.ir.validate import validate_program
+from repro.resilience import faults
+from repro.sim.batch import (
+    BatchMachine,
+    build_batch_machine,
+    simulate_batch,
+)
+from repro.sim.engine import (
+    _reset_fallback_warnings,
+    create_machine,
+    select_engine,
+    set_default_engine,
+)
+from repro.sim.fast import decode_cached
+from repro.sim.machine import Machine
+from repro.sim.memory import Memory
+from repro.sim.packets import make_workload
+from repro.sim.run import (
+    PACKET_AREA_BASE,
+    run_seed_sweep,
+    run_threads,
+)
+from repro.suite.registry import BENCHMARKS, load
+from tests.conftest import MINI_KERNEL
+
+SEEDS = [1, 9, 42]
+
+
+def ref_run(programs, seed, **kwargs):
+    return run_threads(programs, seed=seed, engine="reference", **kwargs)
+
+
+def assert_lane_identical(machine, outcome, ref):
+    """One batch lane vs the scalar run with the same seed."""
+    assert outcome.error is None
+    assert outcome.stats == ref.stats
+    for thread, rt in zip(
+        machine.lane_threads(outcome.lane), ref.machine.threads
+    ):
+        assert list(thread.out_queue) == list(rt.out_queue)
+        assert list(thread.stores) == list(rt.stores)
+        assert thread.pc == rt.pc
+        assert thread.halted == rt.halted
+        assert thread.blocked_until == rt.blocked_until
+        for name, value in rt.vregs.items():
+            assert thread.vregs.get(name, 0) == value
+        for name in set(thread.vregs) - set(rt.vregs):
+            # Like the fast engine, batch mirrors every decoded vreg
+            # after the run; names the program never wrote must be 0.
+            assert thread.vregs[name] == 0
+    assert (
+        machine.memories[outcome.lane].snapshot()
+        == ref.machine.memory.snapshot()
+    )
+
+
+# ----------------------------------------------------------------------
+# Differential: the whole benchmark suite, one lane per seed.
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("name", sorted(BENCHMARKS))
+def test_differential_suite_kernel(name):
+    program = load(name)
+    machine = build_batch_machine([program], SEEDS, packets_per_thread=5)
+    outcomes = machine.run_batch()
+    for seed, outcome in zip(SEEDS, outcomes):
+        ref = ref_run([program], seed, packets_per_thread=5)
+        assert_lane_identical(machine, outcome, ref)
+
+
+def test_differential_mixed_kernels():
+    programs = [load(n) for n in ("frag", "ipchains", "wraps_send", "drr")]
+    machine = build_batch_machine(programs, SEEDS, packets_per_thread=4)
+    outcomes = machine.run_batch()
+    for seed, outcome in zip(SEEDS, outcomes):
+        ref = ref_run(programs, seed, packets_per_thread=4)
+        assert_lane_identical(machine, outcome, ref)
+
+
+def test_differential_vary_size():
+    program = load("url")
+    machine = build_batch_machine(
+        [program], SEEDS, packets_per_thread=6, vary_size=True
+    )
+    outcomes = machine.run_batch()
+    for seed, outcome in zip(SEEDS, outcomes):
+        ref = ref_run([program], seed, packets_per_thread=6, vary_size=True)
+        assert_lane_identical(machine, outcome, ref)
+
+
+def test_differential_measure_and_stop_on_first_halt():
+    programs = [load("drr"), load("crc")]
+    machine = build_batch_machine(
+        programs, SEEDS, packets_per_thread=6, measure_iterations=2
+    )
+    outcomes = machine.run_batch(stop_on_first_halt=True)
+    for seed, outcome in zip(SEEDS, outcomes):
+        ref = ref_run(
+            programs,
+            seed,
+            packets_per_thread=6,
+            measure_iterations=2,
+            stop_on_first_halt=True,
+        )
+        assert_lane_identical(machine, outcome, ref)
+
+
+def test_differential_latency_regions_and_knobs():
+    regions = [(PACKET_AREA_BASE, PACKET_AREA_BASE + 0x1000, 5)]
+    program = load("frag")
+    machine = BatchMachine(
+        [program],
+        n_lanes=len(SEEDS),
+        latency_regions=regions,
+        mem_latency=7,
+        ctx_cost=3,
+    )
+    for lane, seed in enumerate(SEEDS):
+        workload = make_workload(
+            machine.memories[lane],
+            base=PACKET_AREA_BASE,
+            n_packets=4,
+            payload_words=16,
+            seed=seed,
+        )
+        machine.lane_threads(lane)[0].in_queue = list(workload.bases)
+    outcomes = machine.run_batch()
+    for seed, outcome in zip(SEEDS, outcomes):
+        memory = Memory()
+        ref = Machine(
+            [program],
+            memory=memory,
+            latency_regions=regions,
+            mem_latency=7,
+            ctx_cost=3,
+        )
+        workload = make_workload(
+            memory,
+            base=PACKET_AREA_BASE,
+            n_packets=4,
+            payload_words=16,
+            seed=seed,
+        )
+        ref.threads[0].in_queue = list(workload.bases)
+        assert outcome.error is None
+        assert outcome.stats == ref.run()
+
+
+# ----------------------------------------------------------------------
+# Lane-divergence edge cases.
+# ----------------------------------------------------------------------
+def test_single_lane_batch_equals_scalar():
+    """A batch of size 1 (as built by the engine registry) is
+    byte-for-byte a scalar run."""
+    program = parse_program(MINI_KERNEL, "mini")
+    memory = Memory()
+    machine = create_machine([program], "batch", memory=memory)
+    assert isinstance(machine, BatchMachine)
+    ref_memory = Memory()
+    ref = Machine([program], memory=ref_memory)
+    for m, mem in ((machine, memory), (ref, ref_memory)):
+        workload = make_workload(
+            mem,
+            base=PACKET_AREA_BASE,
+            n_packets=5,
+            payload_words=16,
+            seed=1,
+        )
+        m.threads[0].in_queue = list(workload.bases)
+    stats = machine.run()
+    ref_stats = ref.run()
+    assert stats == ref_stats
+    assert machine.cycle == ref.cycle
+    for thread, rt in zip(machine.threads, ref.threads):
+        assert list(thread.out_queue) == list(rt.out_queue)
+        assert thread.stores == rt.stores
+        assert thread.pc == rt.pc
+        assert thread.halted == rt.halted
+        for name, value in rt.vregs.items():
+            assert thread.vregs.get(name, 0) == value
+    assert memory.snapshot() == ref_memory.snapshot()
+
+
+def test_watchdog_mixed_lanes():
+    """Lanes that trip the watchdog fail individually (same typed error,
+    same message as the reference engine); healthy lanes still return
+    stats identical to their scalar runs."""
+    seeds = list(range(20, 28))
+    program = load("url")
+    machine = build_batch_machine(
+        [program], seeds, packets_per_thread=8, vary_size=True
+    )
+    outcomes = machine.run_batch(max_cycles=4800)
+    dogged = 0
+    for seed, outcome in zip(seeds, outcomes):
+        try:
+            ref = ref_run(
+                [program],
+                seed,
+                packets_per_thread=8,
+                vary_size=True,
+                max_cycles=4800,
+            )
+        except WatchdogError as exc:
+            dogged += 1
+            assert isinstance(outcome.error, WatchdogError)
+            assert not outcome.ok
+            assert str(outcome.error) == str(exc)
+        else:
+            assert outcome.ok
+            assert_lane_identical(machine, outcome, ref)
+    # The calibration must actually mix: some lanes die, some survive.
+    assert 0 < dogged < len(seeds)
+
+
+def test_lanes_share_one_decode():
+    """Different-seed lanes of the same program share a single decode
+    (and so does any other machine built from the same program)."""
+    program = load("drr")
+    machine = build_batch_machine([program], [1, 2, 3], packets_per_thread=2)
+    assert machine._decoded[0] is decode_cached(program)
+    other = build_batch_machine([program], [7], packets_per_thread=2)
+    assert other._decoded[0] is machine._decoded[0]
+
+
+def test_watchdog_message_matches_reference():
+    spin = parse_program("spin:\n br spin\n", "spin")
+    with pytest.raises(WatchdogError) as ref_err:
+        Machine([spin], memory=Memory()).run(max_cycles=500)
+    with pytest.raises(WatchdogError) as batch_err:
+        BatchMachine([spin]).run(max_cycles=500)
+    assert str(batch_err.value) == str(ref_err.value)
+
+
+def test_bad_address_surfaces_per_lane():
+    text = "movi %p, 0\nsubi %p, %p, 1\nstore %p, [%p]\nhalt\n"
+    program = parse_program(text, "bad")
+    validate_program(program)
+    machine = BatchMachine([program], n_lanes=2)
+    results = machine.run_batch()
+    for result in results:
+        assert isinstance(result.error, SimulationError)
+        assert not result.ok
+
+
+# ----------------------------------------------------------------------
+# Workload-level APIs.
+# ----------------------------------------------------------------------
+def test_simulate_batch_matches_run_threads():
+    program = parse_program(MINI_KERNEL, "mini")
+    stats = simulate_batch([program], SEEDS, packets_per_thread=4)
+    for seed, lane_stats in zip(SEEDS, stats):
+        assert lane_stats == ref_run(
+            [program], seed, packets_per_thread=4
+        ).stats
+
+
+def test_simulate_batch_return_errors():
+    spin = parse_program("spin:\n br spin\n", "spin")
+    results = simulate_batch(
+        [spin], [1, 2], packets_per_thread=1, max_cycles=200,
+        return_errors=True,
+    )
+    assert [r.lane for r in results] == [0, 1]
+    assert all(isinstance(r.error, WatchdogError) for r in results)
+    with pytest.raises(WatchdogError):
+        simulate_batch([spin], [1, 2], packets_per_thread=1, max_cycles=200)
+
+
+def test_run_seed_sweep_batch_matches_fast():
+    program = load("wraps_send")
+    seeds = [3, 5, 8]
+    batch = run_seed_sweep([program], seeds, packets_per_thread=4,
+                           engine="batch")
+    fast = run_seed_sweep([program], seeds, packets_per_thread=4,
+                          engine="fast")
+    assert [r.stats for r in batch] == [r.stats for r in fast]
+    assert [r.out_queues for r in batch] == [r.out_queues for r in fast]
+    assert [r.stores for r in batch] == [r.stores for r in fast]
+
+
+# ----------------------------------------------------------------------
+# Engine-selection policy and error paths.
+# ----------------------------------------------------------------------
+def test_auto_never_picks_batch():
+    assert select_engine("auto") == "fast"
+    assert select_engine(None) == "fast"
+
+
+def test_explicit_batch_conflicts_raise():
+    program = load("frag")
+    with pytest.raises(EngineError):
+        select_engine("batch", trace=True)
+    with pytest.raises(EngineError):
+        select_engine("batch", assignment=object())
+    with pytest.raises(EngineError):
+        BatchMachine([program], trace=True)
+    with pytest.raises(EngineError):
+        BatchMachine([program], timeline=True)
+    with pytest.raises(EngineError):
+        BatchMachine([program], assignment=object())
+    with pytest.raises(EngineError):
+        create_machine([program], "batch", trace=True)
+
+
+def test_shared_memory_multi_lane_rejected():
+    program = load("frag")
+    with pytest.raises(EngineError):
+        BatchMachine([program], n_lanes=2, memory=Memory())
+    with pytest.raises(SimulationError):
+        BatchMachine([program], n_lanes=2, memories=[Memory()])
+
+
+def test_run_rejects_multi_lane():
+    machine = BatchMachine([load("frag")], n_lanes=2)
+    with pytest.raises(EngineError):
+        machine.run()
+
+
+def test_armed_fault_plan_rejected():
+    machine = build_batch_machine([load("frag")], [1], packets_per_thread=1)
+    with faults.inject():
+        with pytest.raises(EngineError):
+            machine.run_batch()
+
+
+def test_fallback_warning_deduplicated():
+    """A conflicting engine *default* warns once per process, not once
+    per create() call (the degradation record still fires each time)."""
+    previous = set_default_engine("batch")
+    _reset_fallback_warnings()
+    try:
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            assert select_engine(None, trace=True) == "reference"
+            assert select_engine(None, trace=True) == "reference"
+        runtime = [
+            w for w in caught if issubclass(w.category, RuntimeWarning)
+        ]
+        assert len(runtime) == 1
+        # The test hook forgets issued warnings; the next conflict
+        # warns again.
+        _reset_fallback_warnings()
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            assert select_engine(None, trace=True) == "reference"
+        assert any(
+            issubclass(w.category, RuntimeWarning) for w in caught
+        )
+    finally:
+        set_default_engine(previous)
+        _reset_fallback_warnings()
+
+
+# ----------------------------------------------------------------------
+# Observability: the sim.batch.* label schema.
+# ----------------------------------------------------------------------
+def test_batch_metrics_labels():
+    from repro.obs import events, metrics
+
+    program = load("drr")
+    with metrics.scoped() as registry, events.capture() as emitter:
+        simulate_batch([program], [1, 2], packets_per_thread=2)
+    snap = registry.snapshot()["counters"]
+    assert snap['sim.batch.runs{kernel="drr",lanes="2"}'] == 1
+    assert snap['sim.batch.lanes{kernel="drr",lanes="2"}'] == 2
+    assert 'sim.batch.splits{kernel="drr",lanes="2"}' in snap
+    runs = emitter.events_named("sim.batch.run")
+    assert len(runs) == 1
+    assert runs[0].fields["lanes"] == 2
+    assert runs[0].fields["kernel"] == "drr"
+
+
+# ----------------------------------------------------------------------
+# Harness and CLI adoption.
+# ----------------------------------------------------------------------
+def test_batchperf_smoke():
+    from repro.harness.batchperf import (
+        render_batchperf,
+        run_batchperf,
+        summarize_batchperf,
+    )
+
+    rows = run_batchperf(names=["drr"], lanes=4, packets=3)
+    assert len(rows) == 1
+    assert rows[0].lanes_identical
+    summary = summarize_batchperf(rows)
+    assert summary["lanes"] == 4
+    assert summary["lanes_identical"]
+    assert "AGGREGATE" in render_batchperf(rows)
+
+
+def test_trend_watches_batch_metrics():
+    from repro.harness.trend import WATCHED, watched_from_bench
+
+    assert WATCHED["sim.batch_speedup"] == "higher"
+    data = {"summary": {"speedup": 4.5, "batch_ips": 1e7,
+                        "lanes_identical": True}}
+    assert watched_from_bench("batch", data) == {
+        "sim.batch_speedup": 4.5,
+        "sim.batch_ips": 1e7,
+    }
+    data["summary"]["lanes_identical"] = False
+    assert watched_from_bench("batch", data) == {}
+
+
+def test_chaos_runaway_batch_scenario():
+    from repro.harness.chaos import _BY_NAME, run_scenario
+
+    result = run_scenario(_BY_NAME["runaway-batch"], "-")
+    assert result.outcome == "typed-error"
+    assert "WatchdogError" in result.error
+
+
+def test_cli_run_batch_engine(tmp_path, capsys):
+    from repro.cli import main
+
+    path = tmp_path / "kernel.npir"
+    path.write_text(MINI_KERNEL)
+    assert main(["run", str(path), "--engine", "batch"]) == 0
+    assert "cycles:" in capsys.readouterr().out
+
+
+def test_cli_run_allocated_rejects_batch(tmp_path, capsys):
+    from repro.cli import main
+
+    path = tmp_path / "kernel.npir"
+    path.write_text(MINI_KERNEL)
+    code = main(["run", str(path), "--allocated", "--engine", "batch"])
+    assert code == 2
+    err = capsys.readouterr().err
+    # The error names the flag that forced the conflict.
+    assert "--allocated" in err
+    assert "batch" in err
+
+
+def test_cli_chaos_accepts_engine_flag():
+    from repro.cli import build_parser
+
+    args = build_parser().parse_args(
+        ["chaos", "--scenarios", "runaway-batch", "--engine", "fast"]
+    )
+    assert args.engine == "fast"
+
+
+# ----------------------------------------------------------------------
+# Differential: hypothesis-generated programs.
+# ----------------------------------------------------------------------
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import assume, given  # noqa: E402
+
+from tests.test_properties import (  # noqa: E402
+    SETTINGS,
+    branching_program,
+    straightline_program,
+)
+
+
+def _hypothesis_differential(text):
+    program = parse_program(text, "gen")
+    validate_program(program)
+    batch = BatchMachine([program, program], n_lanes=2)
+    for lane in range(2):
+        for thread in batch.lane_threads(lane):
+            thread.in_queue = [PACKET_AREA_BASE]
+    ref = Machine([program, program], memory=Memory())
+    for thread in ref.threads:
+        thread.in_queue = [PACKET_AREA_BASE]
+    try:
+        ref_stats = ref.run(max_cycles=200_000)
+    except SimulationError:
+        results = batch.run_batch(max_cycles=200_000)
+        assert all(isinstance(r.error, SimulationError) for r in results)
+        assume(False)
+        return
+    results = batch.run_batch(max_cycles=200_000)
+    for result in results:
+        assert result.error is None
+        assert result.stats == ref_stats
+        for thread, rt in zip(
+            batch.lane_threads(result.lane), ref.threads
+        ):
+            assert list(thread.out_queue) == list(rt.out_queue)
+            assert thread.stores == rt.stores
+        assert (
+            batch.memories[result.lane].snapshot()
+            == ref.memory.snapshot()
+        )
+
+
+@SETTINGS
+@given(straightline_program())
+def test_hypothesis_differential_straightline(text):
+    _hypothesis_differential(text)
+
+
+@SETTINGS
+@given(branching_program())
+def test_hypothesis_differential_branching(text):
+    _hypothesis_differential(text)
