@@ -1,4 +1,4 @@
-"""Allocation-pipeline throughput benchmark: cold vs warm vs parallel.
+"""Allocation-pipeline throughput benchmark: cold/warm/parallel/descent.
 
 Run with::
 
@@ -8,10 +8,14 @@ Every suite kernel is allocated at ``nthd=4`` identical threads under
 budgets spanning its own bounds (ceiling / midpoint / near-floor, see
 :mod:`repro.harness.allocperf`), three times over: with a cold analysis
 cache, with the warmed cache, and through the parallel sweep harness.
-The table (also written to ``benchmarks/out/alloc.txt`` and
-``benchmarks/out/BENCH_alloc.json``) reports the grid and the two
-speedups.  The run aborts if any pass produces a different allocation
-summary -- speed never comes at the cost of fidelity.
+A fourth, descent, section answers each kernel's multi-budget ladder
+(feasibility probes + one allocation per distinct reachable budget)
+from ONE shared Figure-8 descent, against the pre-descent
+one-fresh-allocation-per-query baseline.  The table (also written to
+``benchmarks/out/alloc.txt`` and ``benchmarks/out/BENCH_alloc.json``)
+reports the grid and all the speedups.  The run aborts if any pass --
+including the descent passes -- produces a different allocation
+summary: speed never comes at the cost of fidelity.
 """
 
 from benchmarks._util import publish
@@ -23,9 +27,20 @@ def test_alloc(benchmark):
         lambda: run_alloc_bench(jobs=2), rounds=1, iterations=1
     )
     assert report.identical, "allocation summaries diverged across passes"
+    assert report.descent_identical, (
+        "shared-descent summaries diverged from the per-budget baseline"
+    )
     assert len(report.points) >= len(report.kernels)
-    # The CI smoke gate (3 kernels) is 2x warm; the full suite on an
-    # unloaded machine lands well above 5x.
-    assert report.warm_speedup >= 3.0
-    assert report.parallel_speedup >= 1.5
+    # These ratios compressed when the dense-analysis kernels made the
+    # cold pass ~2.7x faster: the warm win is capped by how much of a
+    # point is analysis, and on the full suite (allocation-heavy
+    # kernels included) that now lands near 2x, not the pre-dense 6.7x.
+    # Gate at collapse-detector levels; the trend sentinel (and the CI
+    # smoke job's 2x gate on the analysis-heavy crc/md5/url subset)
+    # watches the magnitude.
+    assert report.warm_speedup >= 1.5
+    assert report.parallel_speedup >= 1.2
+    # One shared descent vs a fresh allocation per budget query; the
+    # full-suite ladder lands around 6x locally, gate at 3x.
+    assert report.descent_speedup >= 3.0
     publish("alloc", render_alloc(report), data=report.to_dict())

@@ -22,7 +22,9 @@ Commands:
 ``bench {table1,table2,table3,fig14,perf,batch,alloc,analysis,trend} [--engine E]``
     Regenerate one of the paper's tables/figures, or the engine
     (``perf``) / batched-lockstep (``batch``) / allocation-pipeline
-    (``alloc``) / cold-analysis (``analysis``) throughput comparisons.  Every measuring experiment
+    (``alloc``, including the shared-descent budget sweep: one Figure-8
+    descent per kernel answers every register budget) / cold-analysis
+    (``analysis``) throughput comparisons.  Every measuring experiment
     appends a row to the run ledger (``--ledger PATH``, default
     ``$REPRO_LEDGER`` or ``benchmarks/out/ledger.jsonl``); ``trend``
     reads the ledger plus the committed ``BENCH_*.json`` snapshots and
@@ -705,6 +707,11 @@ def build_parser() -> argparse.ArgumentParser:
             "analysis",
             "trend",
         ],
+        help="experiment to run; 'alloc' measures the allocation "
+        "pipeline cold/warm/parallel AND the shared-descent budget "
+        "sweep (one Figure-8 descent per kernel answering every "
+        "register budget, vs one fresh allocation per budget -- see "
+        "docs/PERFORMANCE.md, 'Shared-descent budget sweeps')",
     )
     _add_engine_flag(p)
     _add_analysis_flag(p)

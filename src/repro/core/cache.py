@@ -62,6 +62,9 @@ ENV_CACHE_DIR = "REPRO_CACHE_DIR"
 #: Default in-process LRU capacity (entries, i.e. distinct programs).
 DEFAULT_CAPACITY = 128
 
+#: Default capacity of the descent-trajectory LRU (distinct thread mixes).
+DEFAULT_DESCENT_CAPACITY = 16
+
 #: Consecutive disk-layer failures tolerated before the cache takes the
 #: ``cache.disk_to_memory`` degradation rung and disables its disk dir.
 DEFAULT_MAX_DISK_ERRORS = 4
@@ -76,6 +79,8 @@ class CacheStats:
     disk_hits: int = 0
     disk_errors: int = 0
     evictions: int = 0
+    descent_hits: int = 0
+    descent_misses: int = 0
 
     def to_dict(self) -> Dict[str, int]:
         return asdict(self)
@@ -144,10 +149,16 @@ class AnalysisCache:
         capacity: int = DEFAULT_CAPACITY,
         cache_dir: Optional[Union[str, pathlib.Path]] = None,
         max_disk_errors: int = DEFAULT_MAX_DISK_ERRORS,
+        descent_capacity: int = DEFAULT_DESCENT_CAPACITY,
     ):
         if capacity < 1:
             raise ValueError(f"cache capacity must be >= 1, got {capacity}")
+        if descent_capacity < 1:
+            raise ValueError(
+                f"descent capacity must be >= 1, got {descent_capacity}"
+            )
         self.capacity = capacity
+        self.descent_capacity = descent_capacity
         if cache_dir is None:
             cache_dir = os.environ.get(ENV_CACHE_DIR) or None
         self.cache_dir = pathlib.Path(cache_dir) if cache_dir else None
@@ -155,6 +166,13 @@ class AnalysisCache:
         self.stats = CacheStats()
         self._disk_error_streak = 0
         self._entries: "OrderedDict[str, _Entry]" = OrderedDict()
+        # Descent trajectories are memory-only: a SharedDescent holds
+        # live AllocContext graphs whose pickled form would dwarf the
+        # analysis entries, and rebuilding one is itself served by the
+        # (possibly disk-backed) analysis entries above.
+        self._descents: "OrderedDict[Tuple[Tuple[str, ...], str], Any]" = (
+            OrderedDict()
+        )
 
     # ------------------------------------------------------------------
     # Public API.
@@ -214,9 +232,48 @@ class AnalysisCache:
             for fp, p in zip(fps, programs)
         ]
 
+    def descent(self, programs: Sequence[Program], policy: str = "greedy"):
+        """Memoized :class:`~repro.core.inter.SharedDescent` for this
+        exact (ordered) thread mix.
+
+        The descent trajectory is budget-independent, so every budget
+        query against the same programs extends ONE shared descent; on a
+        warm trajectory a repeated query is a dictionary read-off.  The
+        returned object is shared and resumable -- callers only ever call
+        its query methods (``result`` / ``zero_cost_result`` /
+        ``reachable``), which is all monotonic extension, never
+        mutation-in-place of served results.
+        """
+        from repro.core.inter import SharedDescent
+
+        fps = tuple(p.fingerprint() for p in programs)
+        key = (fps, policy)
+        descent = self._descents.get(key)
+        if descent is not None:
+            self._descents.move_to_end(key)
+            self.stats.descent_hits += 1
+            self._note("cache.descent_hit", fps[0] if fps else "")
+            return descent
+        self.stats.descent_misses += 1
+        self._note("cache.descent_miss", fps[0] if fps else "")
+        analyses = [self.analyze(p) for p in programs]
+        bounds = [self.bounds(p) for p in programs]
+        descent = SharedDescent(analyses, policy=policy, bounds=bounds)
+        self._descents[key] = descent
+        while len(self._descents) > self.descent_capacity:
+            self._descents.popitem(last=False)
+            self.stats.evictions += 1
+        return descent
+
     def clear(self) -> None:
         """Drop every in-memory entry (the disk layer is left alone)."""
         self._entries.clear()
+        self._descents.clear()
+
+    def clear_descents(self) -> None:
+        """Drop only the descent trajectories (benchmarks use this to
+        time a cold descent against warm analyses)."""
+        self._descents.clear()
 
     def __len__(self) -> int:
         return len(self._entries)

@@ -22,12 +22,23 @@ the end state is the smallest no-move register requirement.
 ``policy="round_robin"`` is an ablation: instead of probing costs it
 reduces the widest thread's PR (then SR) blindly, so benchmarks can show
 what the cost-probing buys.
+
+The budget ``Nreg`` appears ONLY in the stop condition: the reduction
+trajectory itself is budget-independent.  :class:`SharedDescent` (and the
+convenience driver :func:`allocate_threads_descent`) exploits that to run
+the descent ONCE, checkpoint the per-thread contexts at every requirement
+level, and materialize an :class:`InterThreadResult` for *any* budget --
+byte-identical to a fresh :func:`allocate_threads` at that budget, because
+both walk the exact same committed prefix.  Checkpoints are O(1): the
+intra allocators replace (never mutate) their accepted
+:class:`~repro.core.context.AllocContext`, so snapshotting is taking a
+reference.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.analysis import ThreadAnalysis
 from repro.core.bounds import Bounds
@@ -86,6 +97,263 @@ class InterThreadResult:
         return self.total_registers <= self.nreg
 
 
+@dataclass
+class _Step:
+    """One committed reduction of the descent."""
+
+    step: int  #: 1-based commit number
+    kind: str  #: ``"pr"`` | ``"sr"`` | ``"shift"``
+    involved: List[int]
+    delta: int  #: move-cost increase the commit was chosen at
+
+
+#: ``advance`` statuses besides a committed :class:`_Step`.
+_EXHAUSTED = "exhausted"  #: no candidate direction remains
+_POSITIVE = "positive"  #: cheapest direction costs moves (zero-cost stop)
+
+
+class _DescentEngine:
+    """The Figure-8 loop's mechanics, one committed reduction at a time.
+
+    Owns the intra-thread allocators, the per-thread probe caches, and the
+    step counter; knows nothing about register budgets.  Both the classic
+    :func:`allocate_threads` driver and :class:`SharedDescent` advance the
+    same engine, which is what makes their trajectories identical by
+    construction rather than by parallel maintenance.
+    """
+
+    def __init__(
+        self,
+        analyses: Sequence[ThreadAnalysis],
+        policy: str = "greedy",
+        bounds: Optional[Sequence[Bounds]] = None,
+        _max_steps: Optional[int] = None,
+    ):
+        if policy not in ("greedy", "round_robin"):
+            raise ValueError(f"unknown policy {policy!r}")
+        if bounds is not None and len(bounds) != len(analyses):
+            raise ValueError("bounds must match analyses one-to-one")
+        self.policy = policy
+        self.allocators = [
+            IntraAllocator(a, bounds[i] if bounds is not None else None)
+            for i, a in enumerate(analyses)
+        ]
+        self.nthd = len(self.allocators)
+        self.step_no = 0
+        self.exhausted = False
+        # Safety cap only: every committed step retires at least one unit
+        # of reducible slack (a PR, a shiftable color, or the shared max),
+        # so any driver must stop earlier -- via budget satisfaction,
+        # bound exhaustion, or the zero-cost cutoff.  Reaching the cap
+        # means that invariant broke; drivers turn it into a loud failure
+        # instead of silently returning a half-reduced allocation.
+        self.max_steps = (
+            _max_steps
+            if _max_steps is not None
+            else sum(b.bounds.max_r for b in self.allocators) + self.nthd + 8
+        )
+        # Probe caches: thread index -> ReduceResult (None if infeasible).
+        self._pr_cache: Dict[int, Optional[ReduceResult]] = {}
+        self._sr_cache: Dict[int, Optional[ReduceResult]] = {}
+        self._shift_cache: Dict[int, Optional[ReduceResult]] = {}
+
+    # ------------------------------------------------------------------
+    # State read-offs.
+    # ------------------------------------------------------------------
+    def prs(self) -> List[int]:
+        return [al.context.pr for al in self.allocators]
+
+    def srs(self) -> List[int]:
+        return [al.context.sr for al in self.allocators]
+
+    def requirement(self) -> int:
+        return sum(self.prs()) + (max(self.srs()) if self.allocators else 0)
+
+    def move_cost(self) -> int:
+        return sum(al.context.move_cost() for al in self.allocators)
+
+    def contexts(self) -> Tuple[AllocContext, ...]:
+        """The accepted per-thread contexts.  ``IntraAllocator.commit``
+        *replaces* its context (probes work on copies), so this tuple is
+        an immutable snapshot -- checkpointing is O(1)."""
+        return tuple(al.context for al in self.allocators)
+
+    def materialize(
+        self, contexts: Iterable[AllocContext], nreg: int
+    ) -> InterThreadResult:
+        threads = [
+            ThreadAllocation(
+                analysis=al.analysis,
+                bounds=al.bounds,
+                pr=ctx.pr,
+                sr=ctx.sr,
+                context=ctx,
+                move_cost=ctx.move_cost(),
+            )
+            for al, ctx in zip(self.allocators, contexts)
+        ]
+        return InterThreadResult(threads=threads, nreg=nreg)
+
+    # ------------------------------------------------------------------
+    # Probes (cached; see module docstring).
+    # ------------------------------------------------------------------
+    def _probe(
+        self,
+        kind: str,
+        i: int,
+        cache: Dict[int, Optional[ReduceResult]],
+    ) -> Optional[ReduceResult]:
+        em = obs.get_emitter()
+        if i not in cache:
+            if em.enabled:
+                reg = obs_metrics.registry()
+                # The unlabeled total stays byte-identical to the
+                # pre-label telemetry; the ``kind`` breakdown and the
+                # hit/miss counter are additive (docs/OBSERVABILITY.md).
+                reg.counter("inter.probes").inc()
+                reg.counter("inter.probes", kind=kind).inc()
+                reg.counter("inter.probe_cache", result="miss").inc()
+            al = self.allocators[i]
+            if kind == "pr":
+                cache[i] = al.probe_reduce_pr()
+            elif kind == "sr":
+                cache[i] = al.probe_reduce_sr()
+            else:
+                cache[i] = al.probe_shift()
+        elif em.enabled:
+            obs_metrics.registry().counter(
+                "inter.probe_cache", result="hit"
+            ).inc()
+        return cache[i]
+
+    def probe_pr(self, i: int) -> Optional[ReduceResult]:
+        return self._probe("pr", i, self._pr_cache)
+
+    def probe_sr(self, i: int) -> Optional[ReduceResult]:
+        return self._probe("sr", i, self._sr_cache)
+
+    def probe_shift(self, i: int) -> Optional[ReduceResult]:
+        return self._probe("shift", i, self._shift_cache)
+
+    def invalidate(self, i: int) -> None:
+        self._pr_cache.pop(i, None)
+        self._sr_cache.pop(i, None)
+        self._shift_cache.pop(i, None)
+
+    # ------------------------------------------------------------------
+    # One iteration of the Figure-8 loop.
+    # ------------------------------------------------------------------
+    def advance(
+        self, stop_on_positive: bool = False
+    ) -> Tuple[str, Optional[_Step]]:
+        """Probe every direction, pick one, and (usually) commit it.
+
+        Returns ``("step", step)`` after a commit, ``(_EXHAUSTED, None)``
+        when no direction remains, and -- only with ``stop_on_positive``
+        (the zero-cost cutoff) -- ``(_POSITIVE, None)`` *without
+        committing* when the cheapest direction costs moves.
+        """
+        allocators = self.allocators
+        candidates: List[Tuple[int, str, int, List[ReduceResult]]] = []
+        cur_srs = self.srs()
+        max_sr = max(cur_srs) if cur_srs else 0
+
+        # Probe threads with the most slack above their lower bounds
+        # first: their reductions are the likeliest to be free, and a
+        # zero-cost candidate is unbeatable, so probing can stop there
+        # (cached probes keep later iterations cheap either way).
+        order = sorted(
+            range(self.nthd),
+            key=lambda i: (
+                allocators[i].bounds.min_pr - allocators[i].context.pr,
+                i,
+            ),
+        )
+        found_free = False
+        for i in order:
+            # Candidate: shift one thread's private color into the shared
+            # range.  Free in total registers whenever the thread's SR is
+            # strictly below the global max (the shared pool already has
+            # the extra register), and usually cheaper than a PR
+            # reduction, since only boundary pieces must vacate the color.
+            if cur_srs[i] < max_sr:
+                res = self.probe_shift(i)
+                if res is not None:
+                    delta = res.cost - allocators[i].context.move_cost()
+                    candidates.append((delta, "shift", i, [res]))
+                    if delta <= 0:
+                        found_free = True
+                        break
+            # Candidate: reduce this thread's PR outright.
+            res = self.probe_pr(i)
+            if res is not None:
+                delta = res.cost - allocators[i].context.move_cost()
+                candidates.append((delta, "pr", i, [res]))
+                if delta <= 0:
+                    found_free = True
+                    break
+
+        # Candidate: reduce SR of every thread at the current max.
+        if max_sr > 0 and not found_free:
+            at_max = [i for i in range(self.nthd) if cur_srs[i] == max_sr]
+            results = [self.probe_sr(i) for i in at_max]
+            if all(r is not None for r in results):
+                delta = sum(
+                    r.cost - allocators[i].context.move_cost()  # type: ignore[union-attr]
+                    for i, r in zip(at_max, results)
+                )
+                candidates.append((delta, "sr", -1, results))  # type: ignore[arg-type]
+
+        if not candidates:
+            self.exhausted = True
+            return _EXHAUSTED, None
+
+        if self.policy == "round_robin":
+            # Ablation: ignore costs, prefer shrinking the widest PR.
+            pr_cands = [c for c in candidates if c[1] == "pr"]
+            if pr_cands:
+                prs = self.prs()
+                chosen = max(pr_cands, key=lambda c: prs[c[2]])
+            else:
+                chosen = candidates[-1]
+        else:
+            chosen = min(candidates, key=lambda c: (c[0], c[1], c[2]))
+
+        delta, kind, idx, results = chosen
+        if stop_on_positive and delta > 0:
+            return _POSITIVE, None
+        if kind in ("pr", "shift"):
+            allocators[idx].commit(results[0])
+            self.invalidate(idx)
+            involved = [idx]
+        else:
+            at_max = [i for i in range(self.nthd) if self.srs()[i] == max_sr]
+            for i, res in zip(at_max, results):
+                allocators[i].commit(res)
+                self.invalidate(i)
+            involved = at_max
+        self.step_no += 1
+        return "step", _Step(
+            step=self.step_no, kind=kind, involved=involved, delta=delta
+        )
+
+
+def _step_cap_error(steps: int, max_steps: int) -> AllocationError:
+    return AllocationError(
+        f"inter-thread reduction stopped by the step cap "
+        f"({steps} steps, cap {max_steps}) instead of budget "
+        f"satisfaction or bound exhaustion"
+    )
+
+
+def _exhausted_error(requirement: int, nreg: int) -> AllocationError:
+    return AllocationError(
+        f"cannot fit {requirement} required registers into "
+        f"{nreg}: all reductions are at their lower bounds",
+        requirement=requirement,
+    )
+
+
 def allocate_threads(
     analyses: Sequence[ThreadAnalysis],
     nreg: int,
@@ -109,224 +377,284 @@ def allocate_threads(
 
     Raises:
         AllocationError: the programs cannot fit ``nreg`` registers even at
-            their lower bounds -- or, as a loud invariant failure, the
-            loop was stopped by the safety step cap instead of budget
-            satisfaction or bound exhaustion.
+            their lower bounds (``exc.requirement`` carries the residual
+            requirement) -- or, as a loud invariant failure, the loop was
+            stopped by the safety step cap instead of budget satisfaction
+            or bound exhaustion.
     """
-    if policy not in ("greedy", "round_robin"):
-        raise ValueError(f"unknown policy {policy!r}")
-    if bounds is not None and len(bounds) != len(analyses):
-        raise ValueError("bounds must match analyses one-to-one")
-    allocators = [
-        IntraAllocator(a, bounds[i] if bounds is not None else None)
-        for i, a in enumerate(analyses)
-    ]
-    nthd = len(allocators)
+    engine = _DescentEngine(
+        analyses, policy=policy, bounds=bounds, _max_steps=_max_steps
+    )
     em = obs.get_emitter()
-    reg = obs_metrics.registry() if em.enabled else None
-    step_no = 0
-
-    def prs() -> List[int]:
-        return [al.context.pr for al in allocators]
-
-    def srs() -> List[int]:
-        return [al.context.sr for al in allocators]
-
-    def requirement() -> int:
-        return sum(prs()) + (max(srs()) if allocators else 0)
-
-    # Probe caches: thread index -> ReduceResult (or None if infeasible).
-    pr_cache: Dict[int, Optional[ReduceResult]] = {}
-    sr_cache: Dict[int, Optional[ReduceResult]] = {}
-    shift_cache: Dict[int, Optional[ReduceResult]] = {}
-
-    def probe_pr(i: int) -> Optional[ReduceResult]:
-        if i not in pr_cache:
-            if reg is not None:
-                reg.counter("inter.probes").inc()
-            pr_cache[i] = allocators[i].probe_reduce_pr()
-        return pr_cache[i]
-
-    def probe_sr(i: int) -> Optional[ReduceResult]:
-        if i not in sr_cache:
-            if reg is not None:
-                reg.counter("inter.probes").inc()
-            sr_cache[i] = allocators[i].probe_reduce_sr()
-        return sr_cache[i]
-
-    def probe_shift(i: int) -> Optional[ReduceResult]:
-        if i not in shift_cache:
-            if reg is not None:
-                reg.counter("inter.probes").inc()
-            shift_cache[i] = allocators[i].probe_shift()
-        return shift_cache[i]
-
-    def invalidate(i: int) -> None:
-        pr_cache.pop(i, None)
-        sr_cache.pop(i, None)
-        shift_cache.pop(i, None)
-
     if em.enabled:
         em.emit(
             "inter.start",
-            requirement=requirement(),
+            requirement=engine.requirement(),
             nreg=nreg,
-            pr=prs(),
-            sr=srs(),
+            pr=engine.prs(),
+            sr=engine.srs(),
             policy=policy,
             zero_cost_only=zero_cost_only,
         )
-    # Safety cap only: every committed step retires at least one unit of
-    # reducible slack (a PR, a shiftable color, or the shared max), so the
-    # loop must stop earlier -- via budget satisfaction, bound exhaustion,
-    # or the zero-cost cutoff.  Reaching the cap means that invariant
-    # broke, and the for/else below turns it into a loud failure instead
-    # of silently returning a half-reduced allocation.
-    max_steps = (
-        _max_steps
-        if _max_steps is not None
-        else sum(b.bounds.max_r for b in allocators) + nthd + 8
-    )
-    for _ in range(max_steps):
-        if not zero_cost_only and requirement() <= nreg:
+    for _ in range(engine.max_steps):
+        if not zero_cost_only and engine.requirement() <= nreg:
             break
-
-        candidates: List[Tuple[int, str, int, List[ReduceResult]]] = []
-        cur_srs = srs()
-        max_sr = max(cur_srs) if cur_srs else 0
-
-        # Probe threads with the most slack above their lower bounds
-        # first: their reductions are the likeliest to be free, and a
-        # zero-cost candidate is unbeatable, so probing can stop there
-        # (cached probes keep later iterations cheap either way).
-        order = sorted(
-            range(nthd),
-            key=lambda i: (
-                allocators[i].bounds.min_pr - allocators[i].context.pr,
-                i,
-            ),
-        )
-        found_free = False
-        for i in order:
-            # Candidate: shift one thread's private color into the shared
-            # range.  Free in total registers whenever the thread's SR is
-            # strictly below the global max (the shared pool already has
-            # the extra register), and usually cheaper than a PR
-            # reduction, since only boundary pieces must vacate the color.
-            if cur_srs[i] < max_sr:
-                res = probe_shift(i)
-                if res is not None:
-                    delta = res.cost - allocators[i].context.move_cost()
-                    candidates.append((delta, "shift", i, [res]))
-                    if delta <= 0:
-                        found_free = True
-                        break
-            # Candidate: reduce this thread's PR outright.
-            res = probe_pr(i)
-            if res is not None:
-                delta = res.cost - allocators[i].context.move_cost()
-                candidates.append((delta, "pr", i, [res]))
-                if delta <= 0:
-                    found_free = True
-                    break
-
-        # Candidate: reduce SR of every thread at the current max.
-        if max_sr > 0 and not found_free:
-            at_max = [i for i in range(nthd) if cur_srs[i] == max_sr]
-            results = [probe_sr(i) for i in at_max]
-            if all(r is not None for r in results):
-                delta = sum(
-                    r.cost - allocators[i].context.move_cost()  # type: ignore[union-attr]
-                    for i, r in zip(at_max, results)
-                )
-                candidates.append((delta, "sr", -1, results))  # type: ignore[arg-type]
-
-        if not candidates:
+        status, step = engine.advance(stop_on_positive=zero_cost_only)
+        if status == _EXHAUSTED:
             if zero_cost_only:
                 break
-            raise AllocationError(
-                f"cannot fit {requirement()} required registers into "
-                f"{nreg}: all reductions are at their lower bounds"
-            )
-
-        if policy == "round_robin":
-            # Ablation: ignore costs, prefer shrinking the widest PR.
-            pr_cands = [c for c in candidates if c[1] == "pr"]
-            if pr_cands:
-                chosen = max(pr_cands, key=lambda c: prs()[c[2]])
-            else:
-                chosen = candidates[-1]
-        else:
-            chosen = min(candidates, key=lambda c: (c[0], c[1], c[2]))
-
-        delta, kind, idx, results = chosen
-        if zero_cost_only and delta > 0:
+            raise _exhausted_error(engine.requirement(), nreg)
+        if status == _POSITIVE:
             break
-        if kind in ("pr", "shift"):
-            allocators[idx].commit(results[0])
-            invalidate(idx)
-            involved = [idx]
-        else:
-            at_max = [i for i in range(nthd) if srs()[i] == max_sr]
-            for i, res in zip(at_max, results):
-                allocators[i].commit(res)
-                invalidate(i)
-            involved = at_max
-        step_no += 1
+        assert step is not None
         if em.enabled:
             em.emit(
                 "inter.step",
-                step=step_no,
-                kind=kind,
-                threads=involved,
-                delta=delta,
-                requirement=requirement(),
+                step=step.step,
+                kind=step.kind,
+                threads=step.involved,
+                delta=step.delta,
+                requirement=engine.requirement(),
                 nreg=nreg,
-                pr=prs(),
-                sr=srs(),
-                move_cost=sum(al.context.move_cost() for al in allocators),
+                pr=engine.prs(),
+                sr=engine.srs(),
+                move_cost=engine.move_cost(),
             )
-            assert reg is not None
+            reg = obs_metrics.registry()
             reg.counter("inter.steps").inc()
-            reg.counter("inter.steps", kind=kind).inc()
-            reg.histogram("inter.step_delta").observe(delta)
+            reg.counter("inter.steps", kind=step.kind).inc()
+            reg.histogram("inter.step_delta").observe(step.delta)
     else:
         if em.enabled:
             em.emit(
                 "inter.step_cap",
-                steps=step_no,
-                max_steps=max_steps,
-                requirement=requirement(),
+                steps=engine.step_no,
+                max_steps=engine.max_steps,
+                requirement=engine.requirement(),
                 nreg=nreg,
                 zero_cost_only=zero_cost_only,
             )
-            assert reg is not None
-            reg.counter("inter.step_cap").inc()
-        raise AllocationError(
-            f"inter-thread reduction stopped by the step cap "
-            f"({step_no} steps, cap {max_steps}) instead of budget "
-            f"satisfaction or bound exhaustion"
-        )
+            obs_metrics.registry().counter("inter.step_cap").inc()
+        raise _step_cap_error(engine.step_no, engine.max_steps)
 
     if em.enabled:
         em.emit(
             "inter.done",
-            steps=step_no,
-            requirement=requirement(),
+            steps=engine.step_no,
+            requirement=engine.requirement(),
             nreg=nreg,
-            fits=requirement() <= nreg,
-            pr=prs(),
-            sr=srs(),
+            fits=engine.requirement() <= nreg,
+            pr=engine.prs(),
+            sr=engine.srs(),
         )
-    threads = [
-        ThreadAllocation(
-            analysis=al.analysis,
-            bounds=al.bounds,
-            pr=al.context.pr,
-            sr=al.context.sr,
-            context=al.context,
-            move_cost=al.context.move_cost(),
+    return engine.materialize(engine.contexts(), nreg)
+
+
+class SharedDescent:
+    """One budget-independent Figure-8 descent serving every budget.
+
+    The greedy loop reads ``nreg`` only in its stop condition, so a fresh
+    :func:`allocate_threads` at budget ``B`` commits exactly the first
+    steps of this descent until the requirement first drops to ``B``.
+    ``SharedDescent`` runs those commits once, records an O(1) context
+    checkpoint after each (every committed step lowers the requirement by
+    exactly one register, so checkpoints cover every reachable budget),
+    and materializes results on demand:
+
+    * :meth:`result` -- the :class:`InterThreadResult` for a budget,
+      byte-identical to a fresh run (or the identical
+      :class:`~repro.errors.AllocationError` when infeasible);
+    * :meth:`zero_cost_result` -- the Figure-14 ``zero_cost_only``
+      answer, read off the same trajectory: the state just before the
+      first committed step whose chosen delta costs moves;
+    * :meth:`reachable` -- the smallest satisfiable budget at or above a
+      requested one, replacing allocate-until-success probing.
+
+    The descent is resumable and monotonic: queries only ever extend the
+    committed prefix, so an instance can be cached and shared
+    (:meth:`repro.core.cache.AnalysisCache.descent`) -- repeated budget
+    queries on a warm trajectory are dictionary lookups.  Probe caches
+    stay live across checkpoints; telemetry reports committed steps as
+    ``descent.step`` events under the shared ``inter.steps`` /
+    ``inter.probes`` counters.
+    """
+
+    def __init__(
+        self,
+        analyses: Sequence[ThreadAnalysis],
+        policy: str = "greedy",
+        bounds: Optional[Sequence[Bounds]] = None,
+        _max_steps: Optional[int] = None,
+    ):
+        self._engine = _DescentEngine(
+            analyses, policy=policy, bounds=bounds, _max_steps=_max_steps
         )
-        for al in allocators
-    ]
-    return InterThreadResult(threads=threads, nreg=nreg)
+        #: Requirement levels in committed order (strictly descending).
+        self._trajectory: List[int] = []
+        self._states: Dict[int, Tuple[AllocContext, ...]] = {}
+        self._steps_at: Dict[int, int] = {}
+        #: Requirement of the zero-cost stop state, once known.
+        self._zero_requirement: Optional[int] = None
+        self._record()
+
+    # ------------------------------------------------------------------
+    # Introspection.
+    # ------------------------------------------------------------------
+    @property
+    def requirement(self) -> int:
+        """The current (lowest reached so far) register requirement."""
+        return self._engine.requirement()
+
+    @property
+    def initial_requirement(self) -> int:
+        return self._trajectory[0]
+
+    @property
+    def steps(self) -> int:
+        """Committed reductions so far."""
+        return self._engine.step_no
+
+    @property
+    def exhausted(self) -> bool:
+        """True once every reduction direction hit its lower bound."""
+        return self._engine.exhausted
+
+    # ------------------------------------------------------------------
+    # Descent drivers.
+    # ------------------------------------------------------------------
+    def _record(self) -> None:
+        req = self._engine.requirement()
+        if req not in self._states:
+            self._trajectory.append(req)
+            self._states[req] = self._engine.contexts()
+            self._steps_at[req] = self._engine.step_no
+
+    def _advance_once(self) -> bool:
+        """Commit one more reduction; False once the descent is done."""
+        engine = self._engine
+        if engine.step_no >= engine.max_steps:
+            self._emit_step_cap(engine.step_no, engine.requirement())
+            raise _step_cap_error(engine.step_no, engine.max_steps)
+        prev_req = engine.requirement()
+        status, step = engine.advance()
+        if status == _EXHAUSTED:
+            if self._zero_requirement is None:
+                self._zero_requirement = prev_req
+            return False
+        assert step is not None
+        if self._zero_requirement is None and step.delta > 0:
+            # A fresh zero_cost_only run stops HERE, before committing:
+            # its answer is the state this commit descended from.
+            self._zero_requirement = prev_req
+        em = obs.get_emitter()
+        if em.enabled:
+            em.emit(
+                "descent.step",
+                step=step.step,
+                kind=step.kind,
+                threads=step.involved,
+                delta=step.delta,
+                requirement=engine.requirement(),
+                pr=engine.prs(),
+                sr=engine.srs(),
+                move_cost=engine.move_cost(),
+            )
+            reg = obs_metrics.registry()
+            reg.counter("inter.steps").inc()
+            reg.counter("inter.steps", kind=step.kind).inc()
+            reg.histogram("inter.step_delta").observe(step.delta)
+        self._record()
+        return True
+
+    def run_to(self, budget: int) -> bool:
+        """Extend the descent until ``budget`` is satisfied (True) or the
+        bounds are exhausted first (False)."""
+        while self._engine.requirement() > budget:
+            if self._engine.exhausted or not self._advance_once():
+                return False
+        return True
+
+    def run_zero_cost(self) -> int:
+        """Extend the descent past the zero-cost boundary; returns the
+        requirement of the zero-cost stop state."""
+        while self._zero_requirement is None:
+            self._advance_once()
+        return self._zero_requirement
+
+    # ------------------------------------------------------------------
+    # Read-offs.
+    # ------------------------------------------------------------------
+    def reachable(self, nreg: int) -> int:
+        """The smallest budget >= ``nreg`` the loop actually satisfies
+        (the final requirement when ``nreg`` is below the loop's reach)."""
+        return nreg if self.run_to(nreg) else self._engine.requirement()
+
+    def result(self, nreg: int) -> InterThreadResult:
+        """The allocation at budget ``nreg`` -- byte-identical to a fresh
+        :func:`allocate_threads` there, including the
+        :class:`~repro.errors.AllocationError` when infeasible."""
+        if not self.run_to(nreg):
+            raise _exhausted_error(self._engine.requirement(), nreg)
+        req = next(r for r in self._trajectory if r <= nreg)
+        self._check_cap(self._steps_at[req])
+        return self._engine.materialize(self._states[req], nreg)
+
+    def zero_cost_result(self, nreg: int = 128) -> InterThreadResult:
+        """The ``zero_cost_only`` (Figure-14) allocation, stamped with
+        ``nreg`` -- byte-identical to a fresh zero-cost run."""
+        req = self.run_zero_cost()
+        self._check_cap(self._steps_at[req])
+        return self._engine.materialize(self._states[req], nreg)
+
+    # ------------------------------------------------------------------
+    # Step-cap fidelity (the `_max_steps` test hook).
+    # ------------------------------------------------------------------
+    def _check_cap(self, steps_needed: int) -> None:
+        # A fresh run needs one loop iteration beyond its last commit to
+        # notice it is done, so it trips the cap whenever
+        # ``max_steps <= commits``; mirror that here so the hook behaves
+        # identically whichever driver runs the descent.
+        max_steps = self._engine.max_steps
+        if max_steps <= steps_needed:
+            at = min(max_steps, len(self._trajectory) - 1)
+            self._emit_step_cap(max_steps, self._trajectory[at])
+            raise _step_cap_error(max_steps, max_steps)
+
+    def _emit_step_cap(self, steps: int, requirement: int) -> None:
+        em = obs.get_emitter()
+        if em.enabled:
+            em.emit(
+                "inter.step_cap",
+                steps=steps,
+                max_steps=self._engine.max_steps,
+                requirement=requirement,
+            )
+            obs_metrics.registry().counter("inter.step_cap").inc()
+
+
+def allocate_threads_descent(
+    analyses: Sequence[ThreadAnalysis],
+    budgets: Sequence[int],
+    zero_cost: bool = False,
+    policy: str = "greedy",
+    bounds: Optional[Sequence[Bounds]] = None,
+    _max_steps: Optional[int] = None,
+) -> SharedDescent:
+    """One shared Figure-8 descent covering every budget in ``budgets``.
+
+    Runs the greedy loop once from the upper bounds, checkpointing as it
+    crosses each requested budget (and the zero-cost boundary when
+    ``zero_cost`` is set), and returns the :class:`SharedDescent`:
+    call :meth:`~SharedDescent.result` / :meth:`~SharedDescent.zero_cost_result`
+    to materialize the per-budget outcomes.  Infeasible budgets do not
+    raise here -- they raise the fresh-run-identical error from
+    ``result`` -- so one unreachable point never aborts a whole sweep.
+    """
+    descent = SharedDescent(
+        analyses, policy=policy, bounds=bounds, _max_steps=_max_steps
+    )
+    for nreg in sorted(set(budgets), reverse=True):
+        descent.run_to(nreg)
+    if zero_cost:
+        descent.run_zero_cost()
+    return descent

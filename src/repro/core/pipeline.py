@@ -170,6 +170,102 @@ def allocate_programs(
     )
 
 
+def allocate_programs_sweep(
+    programs: Sequence[Program],
+    budgets: Sequence[int],
+    check_init: bool = True,
+    policy: str = "greedy",
+    jobs: int = 1,
+    deadline: Optional[Deadline] = None,
+) -> Dict[int, AllocationOutcome]:
+    """Allocate one PU's threads at EVERY budget in one shared descent.
+
+    The Figure-8 reduction trajectory is budget-independent (the budget
+    only stops it), so instead of one fresh :func:`allocate_programs`
+    per budget this validates and analyses the threads once, runs ONE
+    :class:`~repro.core.inter.SharedDescent` (memoized per thread mix in
+    :func:`repro.core.cache.get_cache`, so repeated sweeps replay in
+    O(1)), and materializes a full :class:`AllocationOutcome` per
+    distinct budget.  Every outcome is byte-identical to what
+    ``allocate_programs(programs, nreg=b)`` returns at that budget --
+    same PR/SR splits, move costs, register maps, and rewritten-program
+    fingerprints.
+
+    Returns a dict keyed by budget, in the (deduplicated) order given.
+    The whole call runs under one ``alloc.descent`` span with an
+    ``alloc.descent_budget`` event per materialized budget; the deadline
+    is checked at every phase boundary and between budgets.
+
+    Raises:
+        AllocationError: some budget is infeasible even at the threads'
+            lower bounds -- the error (message and ``requirement``
+            attribute) is identical to the fresh-run error at that
+            budget, and the largest budgets raise first.
+    """
+    cache = get_cache()
+    em = obs.get_emitter()
+    wanted = list(dict.fromkeys(budgets))
+    outcomes: Dict[int, AllocationOutcome] = {}
+    with _phase(
+        em,
+        "alloc.descent",
+        threads=len(programs),
+        budgets=sorted(wanted, reverse=True),
+        policy=policy,
+    ):
+        dl.check(deadline, "validate")
+        with _phase(em, "validate"):
+            for program in programs:
+                validate_program(program, check_init=check_init)
+        dl.check(deadline, "analyze")
+        with _phase(em, "analyze"):
+            analyses = guard.retry_transient(
+                lambda: _analyze_all(cache, programs, jobs),
+                label="pipeline.analyze",
+            )
+        dl.check(deadline, "bounds")
+        with _phase(em, "bounds"):
+            for program in programs:
+                cache.bounds(program)
+        dl.check(deadline, "descent")
+        inters: Dict[int, InterThreadResult] = {}
+        with _phase(em, "descent"):
+            descent = cache.descent(programs, policy=policy)
+            for nreg in sorted(wanted, reverse=True):
+                dl.check(deadline, f"descent@{nreg}")
+                inter = descent.result(nreg)
+                inters[nreg] = inter
+                if em.enabled:
+                    em.emit(
+                        "alloc.descent_budget",
+                        nreg=nreg,
+                        total_registers=inter.total_registers,
+                        total_moves=inter.total_moves,
+                        steps=descent.steps,
+                    )
+        for nreg in wanted:
+            inter = inters[nreg]
+            dl.check(deadline, f"assign@{nreg}")
+            with _phase(em, "assign", nreg=nreg):
+                assignment = assign_physical(inter)
+            dl.check(deadline, f"rewrite@{nreg}")
+            with _phase(em, "rewrite", nreg=nreg):
+                rewritten = [
+                    rewrite_program(t.analysis, t.context, m)
+                    for t, m in zip(inter.threads, assignment.maps)
+                ]
+                for program in rewritten:
+                    validate_program(program, check_init=False)
+            outcomes[nreg] = AllocationOutcome(
+                source_programs=list(programs),
+                programs=rewritten,
+                analyses=analyses,
+                inter=inter,
+                assignment=assignment,
+            )
+    return outcomes
+
+
 @dataclass
 class HybridOutcome:
     """Result of :func:`allocate_with_spill_fallback`.

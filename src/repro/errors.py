@@ -6,6 +6,8 @@ callers can catch library failures without catching unrelated bugs.
 
 from __future__ import annotations
 
+from typing import Optional
+
 
 class ReproError(Exception):
     """Base class for all errors raised by this library."""
@@ -31,7 +33,26 @@ class ValidationError(ReproError):
 
 
 class AllocationError(ReproError):
-    """Register allocation failed (infeasible budget, internal conflict)."""
+    """Register allocation failed (infeasible budget, internal conflict).
+
+    When the Figure-8 loop exhausts every reduction direction,
+    ``requirement`` carries the residual register requirement -- the
+    smallest budget that would have satisfied the loop -- as a typed
+    attribute, so feasibility probes never parse the message text.
+    Other allocation failures leave it ``None``.
+    """
+
+    def __init__(self, message: str, requirement: Optional[int] = None):
+        self.requirement = requirement
+        super().__init__(message)
+
+    def __reduce__(self):
+        # Default exception pickling replays ``args`` only, which would
+        # drop ``requirement`` on the way back from sweep workers.
+        return (
+            type(self),
+            (self.args[0] if self.args else "", self.requirement),
+        )
 
 
 class TransientError(ReproError):

@@ -18,7 +18,6 @@ from functools import partial
 from typing import Any, Dict, List, Optional, Sequence
 
 from repro.core.cache import get_cache
-from repro.core.inter import allocate_threads
 from repro.baseline.single_thread import single_thread_register_count
 from repro.harness.report import text_table
 from repro.harness.sweep import sweep_map
@@ -63,14 +62,16 @@ def _fig14_row(name: str, nthd: int, nreg: int) -> Fig14Row:
     analysed exactly once and the :class:`ThreadAnalysis` is shared by
     every thread slot -- the inter-thread allocator only reads analyses
     (each thread gets its own :class:`AllocContext`), which
-    ``tests/test_harness_fig14.py`` pins down.
+    ``tests/test_harness_fig14.py`` pins down.  The zero-cost answer is
+    read off the kernel's shared descent
+    (:meth:`~repro.core.cache.AnalysisCache.descent`), byte-identical to
+    a fresh ``zero_cost_only`` run, so fig14 shares one trajectory with
+    every other budget query on the same mix.
     """
     program = load(name)
     analysis = get_cache().analyze(program)
     single = single_thread_register_count(program, analysis=analysis)
-    result = allocate_threads(
-        [analysis] * nthd, nreg=nreg, zero_cost_only=True
-    )
+    result = get_cache().descent([program] * nthd).zero_cost_result(nreg)
     prs = sorted(t.pr for t in result.threads)
     return Fig14Row(
         name=name,

@@ -43,6 +43,7 @@ WATCHED: Dict[str, str] = {
     "sim.batch_ips": "higher",          # batch-engine instructions/s
     "alloc.warm_speedup": "higher",     # warm cache vs cold pipeline
     "alloc.parallel_speedup": "higher",  # parallel sweep vs cold serial
+    "alloc.descent_speedup": "higher",  # shared descent vs per-budget
     "analysis.speedup": "higher",       # dense analysis vs reference
     "analysis.e2e_speedup": "higher",   # dense cold end-to-end
     "table1.cycles_per_iter": "lower",  # suite-total simulated cycles/iter
@@ -80,6 +81,15 @@ def watched_from_bench(bench: str, data: Any) -> Dict[str, float]:
         elif bench == "alloc":
             out["alloc.warm_speedup"] = float(data["warm_speedup"])
             out["alloc.parallel_speedup"] = float(data["parallel_speedup"])
+            # Older BENCH_alloc.json payloads predate the descent
+            # section; ``.get`` keeps their warm/parallel metrics
+            # watched instead of voiding the whole extraction.  A
+            # diverged descent reports nothing, like the batch bench.
+            descent = data.get("descent_speedup")
+            if isinstance(descent, (int, float)) and data.get(
+                "descent_identical", False
+            ):
+                out["alloc.descent_speedup"] = float(descent)
         elif bench == "analysis":
             out["analysis.speedup"] = float(data["analysis_speedup"])
             out["analysis.e2e_speedup"] = float(data["e2e_speedup"])

@@ -1,0 +1,326 @@
+"""Shared-descent allocator: one Figure-8 run must equal a fresh run
+at every budget, field by field -- contexts, move costs, physical maps,
+rewritten programs, and errors included."""
+
+import pickle
+
+import pytest
+
+from repro.core.analysis import analyze_thread
+from repro.core.assign import assign_physical
+from repro.core.bounds import estimate_bounds
+from repro.core.cache import AnalysisCache, scoped
+from repro.core.inter import (
+    SharedDescent,
+    allocate_threads,
+    allocate_threads_descent,
+)
+from repro.core.pipeline import allocate_programs, allocate_programs_sweep
+from repro.core.rewrite import rewrite_program
+from repro.errors import AllocationError
+from repro.ir.parser import parse_program
+from repro.obs import events, metrics
+from tests.conftest import FIG3_T1, FIG3_T2, MINI_KERNEL
+
+TEXTS = {"mini": MINI_KERNEL, "fig3a": FIG3_T1, "fig3b": FIG3_T2}
+
+
+def make_analyses(names):
+    return [
+        analyze_thread(parse_program(TEXTS[n], f"{n}{i}"))
+        for i, n in enumerate(names)
+    ]
+
+
+def budget_range(analyses, slack=2):
+    bounds = [estimate_bounds(a) for a in analyses]
+    floor = sum(b.min_pr for b in bounds) + max(
+        b.min_r - b.min_pr for b in bounds
+    )
+    ceiling = sum(b.max_pr for b in bounds) + max(
+        b.max_sr for b in bounds
+    )
+    return floor - slack, ceiling + slack
+
+
+def context_facts(ctx):
+    """Every observable fact of one thread's coloring."""
+    return (
+        ctx.pr,
+        ctx.sr,
+        sorted(
+            (p.pid, str(p.reg), tuple(sorted(p.slots)), p.color)
+            for p in ctx.pieces.values()
+        ),
+    )
+
+
+def result_facts(result):
+    """The full field-by-field content of an InterThreadResult, plus the
+    physical maps and rewritten-program fingerprints it leads to."""
+    assignment = assign_physical(result)
+    rewritten = [
+        rewrite_program(t.analysis, t.context, m).fingerprint()
+        for t, m in zip(result.threads, assignment.maps)
+    ]
+    return {
+        "nreg": result.nreg,
+        "sgr": result.sgr,
+        "total_registers": result.total_registers,
+        "total_moves": result.total_moves,
+        "pr": [t.pr for t in result.threads],
+        "sr": [t.sr for t in result.threads],
+        "move_cost": [t.move_cost for t in result.threads],
+        "contexts": [context_facts(t.context) for t in result.threads],
+        "maps": [
+            (m.private_base, m.pr, m.sr, m.shared_base)
+            for m in assignment.maps
+        ],
+        "rewritten": rewritten,
+    }
+
+
+def assert_same_outcome(analyses, descent, nreg):
+    """descent.result(nreg) must equal a fresh allocate_threads(nreg) --
+    either identical results or identical AllocationErrors."""
+    fresh_exc = fresh = None
+    try:
+        fresh = allocate_threads(analyses, nreg=nreg)
+    except AllocationError as exc:
+        fresh_exc = exc
+    if fresh_exc is None:
+        got = descent.result(nreg)
+        assert result_facts(got) == result_facts(fresh)
+    else:
+        with pytest.raises(AllocationError) as info:
+            descent.result(nreg)
+        assert str(info.value) == str(fresh_exc)
+        assert info.value.requirement == fresh_exc.requirement
+        assert isinstance(info.value.requirement, int)
+
+
+def test_descent_matches_fresh_across_full_budget_range():
+    analyses = make_analyses(["mini", "fig3a", "fig3b"])
+    lo, hi = budget_range(analyses)
+    descent = allocate_threads_descent(analyses, range(lo, hi + 1))
+    for nreg in range(lo, hi + 1):
+        assert_same_outcome(analyses, descent, nreg)
+
+
+def test_budget_order_does_not_matter():
+    analyses = make_analyses(["mini", "mini"])
+    lo, hi = budget_range(analyses)
+    budgets = [lo + 1, hi, lo + 3, lo + 1]
+    descent = allocate_threads_descent(analyses, budgets)
+    # Querying in any order, including budgets never requested up front,
+    # reads the same trajectory.
+    for nreg in [hi, lo + 3, lo + 1, hi - 1]:
+        assert_same_outcome(analyses, descent, nreg)
+
+
+def test_zero_cost_checkpoint_matches_fresh():
+    for names in (["mini", "fig3a"], ["fig3a", "fig3b"], ["mini"]):
+        analyses = make_analyses(names)
+        fresh = allocate_threads(analyses, nreg=128, zero_cost_only=True)
+        descent = allocate_threads_descent(analyses, [], zero_cost=True)
+        got = descent.zero_cost_result(nreg=128)
+        assert result_facts(got) == result_facts(fresh)
+
+
+def test_reachable_matches_probing():
+    analyses = make_analyses(["mini", "fig3a", "fig3b"])
+    lo, hi = budget_range(analyses)
+    descent = SharedDescent(analyses)
+    for nreg in range(lo, hi + 1):
+        reached = descent.reachable(nreg)
+        try:
+            allocate_threads(analyses, nreg=nreg)
+            assert reached == nreg
+        except AllocationError as exc:
+            assert reached == exc.requirement > nreg
+
+
+def test_step_cap_mirrors_fresh_run():
+    analyses = make_analyses(["mini", "fig3a"])
+    lo, _ = budget_range(analyses, slack=0)
+    # A fresh run at the floor needs some number of commits; find it.
+    scratch = SharedDescent(analyses)
+    assert scratch.run_to(lo)
+    steps_needed = scratch.steps
+    assert steps_needed > 0
+    for cap in (0, 1, steps_needed, steps_needed + 1):
+        fresh_exc = None
+        try:
+            allocate_threads(analyses, nreg=lo, _max_steps=cap)
+        except AllocationError as exc:
+            fresh_exc = exc
+        descent = SharedDescent(analyses, _max_steps=cap)
+        if fresh_exc is None:
+            assert result_facts(descent.result(lo)) == result_facts(
+                allocate_threads(analyses, nreg=lo)
+            )
+        else:
+            with pytest.raises(AllocationError) as info:
+                descent.result(lo)
+            assert str(info.value) == str(fresh_exc)
+
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import HealthCheck, given, settings, strategies as st  # noqa: E402
+
+SETTINGS = settings(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@SETTINGS
+@given(
+    st.lists(st.sampled_from(sorted(TEXTS)), min_size=1, max_size=3),
+    st.sets(st.integers(min_value=0, max_value=30), min_size=1, max_size=5),
+    st.sampled_from(["greedy", "round_robin"]),
+)
+def test_prefix_property_random_mixes(names, offsets, policy):
+    """Any checkpoint of any descent == the fresh run at that budget."""
+    analyses = make_analyses(names)
+    lo, hi = budget_range(analyses)
+    budgets = sorted({lo + (o * (hi - lo)) // 30 for o in offsets})
+    descent = allocate_threads_descent(analyses, budgets, policy=policy)
+    for nreg in budgets:
+        fresh_exc = fresh = None
+        try:
+            fresh = allocate_threads(analyses, nreg=nreg, policy=policy)
+        except AllocationError as exc:
+            fresh_exc = exc
+        if fresh_exc is None:
+            assert result_facts(descent.result(nreg)) == result_facts(fresh)
+        else:
+            with pytest.raises(AllocationError) as info:
+                descent.result(nreg)
+            assert str(info.value) == str(fresh_exc)
+            assert info.value.requirement == fresh_exc.requirement
+
+
+def test_allocation_error_requirement_is_typed():
+    analyses = make_analyses(["mini", "fig3a"])
+    with pytest.raises(AllocationError) as info:
+        allocate_threads(analyses, nreg=1)
+    exc = info.value
+    assert isinstance(exc.requirement, int)
+    assert f"cannot fit {exc.requirement} required registers" in str(exc)
+    # Sweep workers ship errors through pickle; requirement must survive.
+    clone = pickle.loads(pickle.dumps(exc))
+    assert isinstance(clone, AllocationError)
+    assert str(clone) == str(exc)
+    assert clone.requirement == exc.requirement
+    # And the attribute defaults to None for plain raises.
+    assert AllocationError("boom").requirement is None
+
+
+def test_probe_counters_labeled_and_total_unchanged():
+    analyses = make_analyses(["mini", "fig3a", "fig3b"])
+    lo, _ = budget_range(analyses, slack=0)
+    with metrics.scoped() as reg, events.capture():
+        allocate_threads(analyses, nreg=lo)
+        counters = reg.snapshot()["counters"]
+    total = counters["inter.probes"]
+    by_kind = {
+        kind: counters.get(f'inter.probes{{kind="{kind}"}}', 0)
+        for kind in ("pr", "sr", "shift")
+    }
+    assert total > 0
+    assert sum(by_kind.values()) == total
+    hits = counters.get('inter.probe_cache{result="hit"}', 0)
+    misses = counters['inter.probe_cache{result="miss"}']
+    assert misses == total
+    assert hits >= 0  # greedy free-candidate breaks can make hits rare
+
+
+def test_probe_cache_hit_counted_on_repeat_probe():
+    from repro.core.inter import _DescentEngine
+
+    engine = _DescentEngine(make_analyses(["mini", "fig3a"]))
+    with metrics.scoped() as reg, events.capture():
+        engine.probe_pr(0)
+        engine.probe_pr(0)  # cached: same answer, no recompute
+        engine.invalidate(0)
+        engine.probe_pr(0)  # invalidated: recomputed
+        counters = reg.snapshot()["counters"]
+    assert counters['inter.probe_cache{result="hit"}'] == 1
+    assert counters['inter.probe_cache{result="miss"}'] == 2
+    assert counters['inter.probes{kind="pr"}'] == 2
+    assert counters["inter.probes"] == 2
+
+
+def test_descent_cache_reuses_trajectories():
+    programs = [
+        parse_program(MINI_KERNEL, "a"),
+        parse_program(FIG3_T1, "b"),
+    ]
+    cache = AnalysisCache()
+    d1 = cache.descent(programs)
+    d2 = cache.descent(programs)
+    assert d2 is d1
+    assert cache.stats.descent_misses == 1
+    assert cache.stats.descent_hits == 1
+    # A different policy is a different trajectory.
+    d3 = cache.descent(programs, policy="round_robin")
+    assert d3 is not d1
+    assert cache.stats.descent_misses == 2
+    cache.clear_descents()
+    assert cache.descent(programs) is not d1
+    cache.clear()  # clear() drops descents too
+    assert cache.descent(programs) is not d1
+    assert cache.stats.descent_misses == 4
+
+
+def test_descent_cache_evicts_lru():
+    cache = AnalysisCache(descent_capacity=1)
+    p1 = [parse_program(MINI_KERNEL, "a")]
+    p2 = [parse_program(FIG3_T1, "b")]
+    d1 = cache.descent(p1)
+    cache.descent(p2)  # evicts d1
+    assert cache.descent(p1) is not d1
+    with pytest.raises(ValueError):
+        AnalysisCache(descent_capacity=0)
+
+
+def test_sweep_matches_per_budget_allocate_programs():
+    texts = [("mini", MINI_KERNEL), ("fig3a", FIG3_T1)]
+    analyses = make_analyses([n for n, _ in texts])
+    lo, hi = budget_range(analyses, slack=0)
+    budgets = [hi, (lo + hi) // 2, lo, hi]  # duplicates are deduped
+    distinct = list(dict.fromkeys(budgets))
+    with scoped():
+        swept = allocate_programs_sweep(
+            [parse_program(t, n) for n, t in texts], budgets
+        )
+    assert list(swept) == distinct
+    for nreg in distinct:
+        fresh = allocate_programs(
+            [parse_program(t, n) for n, t in texts], nreg=nreg
+        )
+        got = swept[nreg]
+        assert got.total_registers == fresh.total_registers
+        assert got.total_moves == fresh.total_moves
+        assert [p.fingerprint() for p in got.programs] == [
+            p.fingerprint() for p in fresh.programs
+        ]
+        assert [
+            (m.private_base, m.pr, m.sr, m.shared_base)
+            for m in got.assignment.maps
+        ] == [
+            (m.private_base, m.pr, m.sr, m.shared_base)
+            for m in fresh.assignment.maps
+        ]
+
+
+def test_sweep_infeasible_budget_raises_identical_error():
+    programs = [parse_program(MINI_KERNEL, "a"), parse_program(FIG3_T1, "b")]
+    with pytest.raises(AllocationError) as fresh_info:
+        allocate_programs([p.copy() for p in programs], nreg=1)
+    with scoped(), pytest.raises(AllocationError) as sweep_info:
+        allocate_programs_sweep(programs, [1])
+    assert str(sweep_info.value) == str(fresh_info.value)
+    assert sweep_info.value.requirement == fresh_info.value.requirement
