@@ -1,0 +1,38 @@
+"""Sweep-fabric throughput benchmark: serial vs pool vs durable fabric.
+
+Run with::
+
+    pytest benchmarks/bench_fabric.py --benchmark-only -s
+
+The suite x budget grid (every kernel at its bounds-derived ceiling /
+midpoint / near-floor budgets, two-thread PUs) is allocated three ways:
+serially on a cold cache, through the ephemeral process pool
+(``sweep_map --jobs``), and through the content-addressed fabric
+(:mod:`repro.fabric`) -- claims, results spool, telemetry spooling, and
+the order-preserving merge all inside the timed window.  The table
+(also ``benchmarks/out/fabric.txt`` / ``BENCH_fabric.json``) feeds the
+``fabric.speedup`` watched metric to the trend sentinel.  The run
+aborts if any pass produces a different summary list: durability never
+comes at the cost of fidelity.
+"""
+
+from benchmarks._util import publish
+from repro.harness.fabricperf import render_fabric, run_fabric_bench
+
+
+def test_fabric(benchmark):
+    report = benchmark.pedantic(
+        lambda: run_fabric_bench(workers=4), rounds=1, iterations=1
+    )
+    assert report.identical, "fabric summaries diverged across passes"
+    assert len(report.points) >= len(report.kernels)
+    # The ISSUE gates: the fabric must at least double the cold serial
+    # wall-clock at 4 workers, and may cost at most 10% over the
+    # ephemeral pool it replaces.
+    assert report.fabric_speedup >= 2.0, (
+        f"fabric only {report.fabric_speedup:.2f}x vs serial"
+    )
+    assert report.pool_ratio <= 1.10, (
+        f"fabric is {report.pool_ratio:.2f}x the pool's wall-clock"
+    )
+    publish("fabric", render_fabric(report), data=report.to_dict())

@@ -1,0 +1,123 @@
+"""repro.fabric: a sharded, resumable, multi-worker sweep fabric.
+
+The fabric turns any ``sweep_map`` call into a *durable* run: the sweep
+is planned into a content-addressed run directory
+(:mod:`~repro.fabric.manifest`), N workers -- processes here, or
+``repro fabric run`` invocations on other hosts sharing the directory
+-- pull items through a file-backed claim protocol
+(:mod:`~repro.fabric.claims`) with fingerprint-affinity scheduling and
+a work-stealing tail (:mod:`~repro.fabric.worker`), and the results
+spool merges back into submission order, byte-identical to a serial
+run (:mod:`~repro.fabric.runner`).  Crashes, kills, and reboots cost
+only the items without spool entries: re-invoking on the same
+directory executes exactly the complement.
+
+Opting in
+---------
+
+* ``sweep_map(fn, items, jobs="fabric")`` routes one sweep through the
+  fabric (run dir under the configured root, or a temp dir);
+* :func:`set_fabric` / the ``REPRO_FABRIC_DIR`` environment variable /
+  the CLI's ``--fabric DIR`` make the root durable and route *every*
+  multi-job sweep underneath it;
+* ``repro fabric run|status|merge|resume`` drives a run directory
+  directly (see ``docs/FABRIC.md``).
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from typing import Optional, Tuple
+
+from repro.fabric.claims import DEFAULT_TTL
+from repro.fabric.manifest import (
+    Manifest,
+    RunDir,
+    affinity_key,
+    build_manifest,
+    code_salt,
+    item_id,
+)
+from repro.fabric.runner import (
+    execute,
+    merge_results,
+    partial_results,
+    status,
+    sweep_run,
+)
+from repro.fabric.worker import WorkerSummary, resolve_fn, run_worker
+
+#: Environment variable naming the durable fabric root directory.
+ENV_DIR = "REPRO_FABRIC_DIR"
+
+_root: Optional[str] = None
+_workers: Optional[int] = None
+
+
+def set_fabric(
+    root: Optional[str], workers: Optional[int] = None
+) -> None:
+    """Set (or with ``root=None`` clear) the process-wide fabric root.
+
+    While a root is set, every ``sweep_map`` call with ``jobs > 1``
+    runs through the fabric under it -- this is what the CLI's
+    ``--fabric DIR`` flag does.  ``workers`` overrides the worker count
+    (defaults to the sweep's own ``jobs``).
+    """
+    global _root, _workers
+    _root = str(root) if root is not None else None
+    _workers = workers
+
+
+def configured_root() -> Optional[str]:
+    """The durable fabric root: :func:`set_fabric` wins over the env."""
+    if _root is not None:
+        return _root
+    return os.environ.get(ENV_DIR) or None
+
+
+def resolve(jobs) -> Optional[Tuple[str, int]]:
+    """Decide whether (and how) a sweep runs on the fabric.
+
+    Returns ``(root, workers)`` when fabric is engaged for ``jobs`` --
+    either the explicit ``jobs == "fabric"`` opt-in or a configured
+    root combined with a parallel job count -- and ``None`` for plain
+    serial/pool execution.  With no durable root configured, the
+    explicit opt-in falls back to a fresh temp directory (functional
+    but not resumable across invocations).
+    """
+    root = configured_root()
+    if jobs == "fabric":
+        from repro.harness.sweep import default_jobs
+
+        workers = _workers if _workers else default_jobs()
+        if root is None:
+            root = tempfile.mkdtemp(prefix="repro-fabric-")
+        return root, workers
+    if root is not None and isinstance(jobs, int) and jobs > 1:
+        return root, (_workers if _workers else jobs)
+    return None
+
+
+__all__ = [
+    "DEFAULT_TTL",
+    "ENV_DIR",
+    "Manifest",
+    "RunDir",
+    "WorkerSummary",
+    "affinity_key",
+    "build_manifest",
+    "code_salt",
+    "configured_root",
+    "execute",
+    "item_id",
+    "merge_results",
+    "partial_results",
+    "resolve",
+    "resolve_fn",
+    "run_worker",
+    "set_fabric",
+    "status",
+    "sweep_run",
+]

@@ -1,0 +1,143 @@
+"""File-backed claim protocol: exclusive item ownership across processes.
+
+A worker takes an item by creating ``claims/<id>.claim`` with
+``O_CREAT | O_EXCL`` -- the one filesystem primitive that is atomic on
+every platform and over NFS-style shared directories, so N workers on
+N hosts can share one run directory with zero double-claims in the
+healthy case.  The claim body is a small JSON doc (worker id, pid,
+host, monotonic-free wall timestamp) used only for staleness decisions
+and status displays; exclusivity comes from the ``O_EXCL`` create, not
+from the content.
+
+Staleness has two triggers, checked in order:
+
+* **dead pid** -- the claim names a pid on *this* host that no longer
+  exists (``os.kill(pid, 0)`` raises); the worker crashed or was
+  killed, its claim is immediately stale;
+* **expired ttl** -- the claim is older than the run's ``ttl`` wall
+  seconds; this is the cross-host path (pids are not checkable
+  remotely) and the straggler path (a live-but-hung worker forfeits
+  the item so the tail of the run cannot be held hostage).
+
+Stealing a stale claim is unlink-then-recreate, and the recreate goes
+through the same ``O_EXCL`` gate, so two stealers resolve to one
+winner.  The deliberate race that remains -- a stale-but-alive worker
+finishing *while* its item is re-executed -- is benign by construction:
+``fn`` is deterministic and the spool write is atomic
+(:func:`repro.fabric.manifest.atomic_write_text`), so both writers
+produce the same document and last-replace wins.
+"""
+
+from __future__ import annotations
+
+import errno
+import json
+import os
+import socket
+import time
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+#: Default stale-claim expiry in wall seconds.  Generous relative to
+#: the <1 s items the harness sweeps so only genuine stragglers forfeit,
+#: small enough that a killed cross-host worker stalls a run briefly.
+DEFAULT_TTL = 60.0
+
+#: Grace period before an unreadable (mid-steal or damaged) claim file
+#: is treated as stale by age of its mtime.
+_CORRUPT_GRACE = 2.0
+
+
+def claim_path(claims_dir, item_id: str) -> Path:
+    return Path(claims_dir) / f"{item_id}.claim"
+
+
+def _claim_doc(worker: str) -> Dict[str, Any]:
+    return {
+        "worker": worker,
+        "pid": os.getpid(),
+        "host": socket.gethostname(),
+        "ts": time.time(),
+    }
+
+
+def try_claim(claims_dir, item_id: str, worker: str) -> bool:
+    """Atomically claim an item; ``False`` if someone else holds it."""
+    path = claim_path(claims_dir, item_id)
+    try:
+        fd = os.open(str(path), os.O_CREAT | os.O_EXCL | os.O_WRONLY, 0o644)
+    except FileExistsError:
+        return False
+    except OSError as exc:  # pragma: no cover - exotic filesystems
+        if exc.errno == errno.EEXIST:
+            return False
+        raise
+    try:
+        with os.fdopen(fd, "w") as fh:
+            json.dump(_claim_doc(worker), fh)
+    except OSError:
+        # A claim we cannot write the body of is still *held* (the file
+        # exists); leave it for the ttl path rather than racing here.
+        pass
+    return True
+
+
+def release(claims_dir, item_id: str) -> None:
+    """Drop a claim (after the spool write, or on worker error)."""
+    try:
+        os.unlink(str(claim_path(claims_dir, item_id)))
+    except OSError:
+        pass
+
+
+def read_claim(claims_dir, item_id: str) -> Optional[Dict[str, Any]]:
+    try:
+        return json.loads(claim_path(claims_dir, item_id).read_text())
+    except (OSError, ValueError):
+        return None
+
+
+def _pid_dead(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return True
+    except (PermissionError, OSError):
+        return False  # exists (or unknowable): not provably dead
+    return False
+
+
+def is_stale(claims_dir, item_id: str, ttl: float = DEFAULT_TTL) -> bool:
+    """Whether an existing claim may be stolen (see module docstring)."""
+    path = claim_path(claims_dir, item_id)
+    doc = read_claim(claims_dir, item_id)
+    if doc is None:
+        # Unreadable: mid-steal, mid-write, or damaged.  Short grace on
+        # the file's mtime, then treat as stale.
+        try:
+            age = time.time() - path.stat().st_mtime
+        except OSError:
+            return False  # vanished: nothing to steal
+        return age > _CORRUPT_GRACE
+    if (
+        doc.get("host") == socket.gethostname()
+        and isinstance(doc.get("pid"), int)
+        and _pid_dead(doc["pid"])
+    ):
+        return True
+    ts = doc.get("ts")
+    if isinstance(ts, (int, float)):
+        return (time.time() - ts) > ttl
+    return True  # a claim with no timestamp can never expire otherwise
+
+
+def steal(claims_dir, item_id: str, worker: str, ttl: float = DEFAULT_TTL) -> bool:
+    """Re-claim a stale item: unlink, then the normal ``O_EXCL`` gate.
+
+    Returns ``True`` only when *this* caller ends up holding the fresh
+    claim; concurrent stealers lose at the recreate and return False.
+    """
+    if not is_stale(claims_dir, item_id, ttl=ttl):
+        return False
+    release(claims_dir, item_id)
+    return try_claim(claims_dir, item_id, worker)

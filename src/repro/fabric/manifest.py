@@ -1,0 +1,439 @@
+"""Content-addressed work manifests: a sweep serialized to a run directory.
+
+A fabric run directory is the durable form of one ``sweep_map`` call::
+
+    <run_dir>/
+        manifest.json        # schema repro.fabric/1: item ids + metadata
+        payload.pkl          # the actual items, pickled once by the planner
+        items/<id>.json      # results spool: one atomic doc per finished item
+        claims/<id>.claim    # in-flight ownership (see repro.fabric.claims)
+        workers/<wid>.json   # per-worker completion summaries
+
+Item identity is *content-addressed*: ``item_id`` is the sha256 of a
+canonical JSON token of the item (``Program`` objects contribute their
+:meth:`~repro.ir.program.Program.fingerprint`), the worker function's
+``module:qualname``, and a code-version salt.  Two planners given the
+same sweep therefore produce byte-identical manifests, resuming a run
+directory is safe across processes and hosts, and a run dir produced by
+stale code refuses to resume under new code (the salt changed).
+
+The spool write is the same write-to-temp + ``os.replace`` discipline
+as the analysis cache's disk layer: a reader (another worker, a merge,
+a resume scan) can never observe a torn entry, only absent or complete.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro import __version__
+from repro.errors import FabricError
+
+SCHEMA_MANIFEST = "repro.fabric/1"
+SCHEMA_ITEM = "repro.fabric-item/1"
+
+#: Environment override folded into every item id.  Bump it (any value)
+#: to invalidate run directories planned by semantically different code
+#: without waiting for a version bump.
+ENV_SALT = "REPRO_FABRIC_SALT"
+
+
+def code_salt() -> str:
+    """The code-version component of every item id."""
+    extra = os.environ.get(ENV_SALT, "")
+    return f"{SCHEMA_MANIFEST}|repro-{__version__}|{extra}"
+
+
+def _canonical_token(value: Any) -> Any:
+    """A JSON-stable token capturing the *identity* of one sweep item.
+
+    ``Program`` objects (anything with a callable ``fingerprint``)
+    contribute their content hash, scalars pass through (floats in hex
+    so equality is bit-exact), containers recurse, callables contribute
+    their import path, and anything else falls back to the sha256 of
+    its pickle -- so arbitrary picklable items still get stable ids.
+    """
+    if value is None or isinstance(value, (str, int, bool)):
+        return value
+    if isinstance(value, float):
+        return {"__float__": value.hex()}
+    fingerprint = getattr(value, "fingerprint", None)
+    if callable(fingerprint):
+        try:
+            return {"__program__": fingerprint()}
+        except TypeError:
+            pass  # fingerprint needing args: fall through to pickle
+    if isinstance(value, (list, tuple)):
+        return {"__seq__": [_canonical_token(v) for v in value]}
+    if isinstance(value, dict):
+        return {
+            "__map__": [
+                [_canonical_token(k), _canonical_token(v)]
+                for k, v in sorted(value.items(), key=lambda kv: repr(kv[0]))
+            ]
+        }
+    if callable(value):
+        return {
+            "__fn__": f"{getattr(value, '__module__', '?')}:"
+            f"{getattr(value, '__qualname__', repr(value))}"
+        }
+    try:
+        blob = pickle.dumps(value, protocol=4)
+    except Exception as exc:
+        raise FabricError(
+            f"fabric item is not content-addressable: {exc}"
+        ) from exc
+    return {"__pickle_sha256__": hashlib.sha256(blob).hexdigest()}
+
+
+def fn_ref(fn: Callable[..., Any]) -> str:
+    """``module:qualname`` of the worker function (manifest metadata)."""
+    return (
+        f"{getattr(fn, '__module__', '?')}:"
+        f"{getattr(fn, '__qualname__', repr(fn))}"
+    )
+
+
+def item_id(fn: Callable[..., Any], item: Any, salt: Optional[str] = None) -> str:
+    """sha256 hex id of one work item under one worker fn and code salt."""
+    doc = {
+        "salt": code_salt() if salt is None else salt,
+        "fn": fn_ref(fn),
+        "item": _canonical_token(item),
+    }
+    blob = json.dumps(doc, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def _affinity_token(token: Any) -> List[Any]:
+    """The content-bearing projection of an item token.
+
+    Program fingerprints, kernel names, and other strings survive;
+    numeric parameters (register budgets, thread counts, seeds) drop
+    out; map *keys* drop out (they are structure, not content).
+    """
+    if isinstance(token, str):
+        return [token]
+    if isinstance(token, dict):
+        if "__program__" in token:
+            return [token["__program__"]]
+        if "__fn__" in token:
+            return [token["__fn__"]]
+        if "__seq__" in token:
+            return [s for t in token["__seq__"] for s in _affinity_token(t)]
+        if "__map__" in token:
+            return [
+                s for _, v in token["__map__"] for s in _affinity_token(v)
+            ]
+    return []
+
+
+def affinity_key(fn: Callable[..., Any], item: Any) -> str:
+    """The placement key: same-analysis items share a key.
+
+    The item's *content-bearing* components (program fingerprints,
+    kernel names -- see :func:`_affinity_token`) hash to the affinity
+    key, with numeric parameters projected out, so the same programs
+    swept at different budgets or thread counts -- exactly the items
+    whose shared-descent trajectories and analysis-cache entries
+    overlap -- land on the same worker (``int(key, 16) % workers``).
+    Items with no content-bearing component (plain numbers) hash their
+    whole token: they spread over workers instead of piling onto one.
+    """
+    token = _canonical_token(item)
+    content = _affinity_token(token)
+    blob = json.dumps(
+        content if content else token, sort_keys=True, separators=(",", ":")
+    )
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def atomic_write_text(path: Path, text: str) -> None:
+    """Write-to-temp + ``os.replace``: readers see absent or complete."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(
+        dir=str(path.parent), prefix=path.name, suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w") as fh:
+            fh.write(text)
+        os.replace(tmp, str(path))
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+@dataclass
+class Manifest:
+    """The planned form of one sweep: ordered, content-addressed items."""
+
+    label: str
+    fn: str  #: ``module:qualname`` of the worker function (metadata)
+    salt: str
+    items: List[Dict[str, Any]] = field(default_factory=list)
+    #: sha256 over the ordered item ids + salt: the run's own identity.
+    manifest_id: str = ""
+
+    def compute_id(self) -> str:
+        h = hashlib.sha256()
+        h.update(self.salt.encode())
+        for entry in self.items:
+            h.update(b"\x1e")
+            h.update(entry["id"].encode())
+        return h.hexdigest()
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema": SCHEMA_MANIFEST,
+            "label": self.label,
+            "fn": self.fn,
+            "salt": self.salt,
+            "manifest_id": self.manifest_id,
+            "items": self.items,
+        }
+
+
+def build_manifest(
+    fn: Callable[..., Any],
+    items: Sequence[Any],
+    label: str = "sweep",
+    salt: Optional[str] = None,
+) -> Manifest:
+    """Plan a sweep: content-address every item, no filesystem writes.
+
+    The resulting :attr:`Manifest.manifest_id` is the run's identity --
+    :func:`repro.fabric.sweep_run` derives the run-dir name from it, so
+    re-planning the same sweep always lands in (and resumes) the same
+    directory.
+    """
+    salt = code_salt() if salt is None else salt
+    manifest = Manifest(label=label, fn=fn_ref(fn), salt=salt)
+    seen: Dict[str, int] = {}
+    for index, item in enumerate(items):
+        iid = item_id(fn, item, salt=salt)
+        if iid in seen:
+            # Duplicate items share one result doc; the merge reads it
+            # once per position.  Record the alias, spool once.
+            manifest.items.append(
+                {
+                    "id": iid,
+                    "index": index,
+                    "affinity": manifest.items[seen[iid]]["affinity"],
+                    "alias_of": seen[iid],
+                }
+            )
+            continue
+        seen[iid] = index
+        manifest.items.append(
+            {
+                "id": iid,
+                "index": index,
+                "affinity": affinity_key(fn, item),
+            }
+        )
+    manifest.manifest_id = manifest.compute_id()
+    return manifest
+
+
+class RunDir:
+    """One fabric run directory: manifest + payload + spool + claims."""
+
+    def __init__(self, root) -> None:
+        self.root = Path(root)
+
+    # -- layout --------------------------------------------------------
+    @property
+    def manifest_path(self) -> Path:
+        return self.root / "manifest.json"
+
+    @property
+    def payload_path(self) -> Path:
+        return self.root / "payload.pkl"
+
+    @property
+    def items_dir(self) -> Path:
+        return self.root / "items"
+
+    @property
+    def claims_dir(self) -> Path:
+        return self.root / "claims"
+
+    @property
+    def workers_dir(self) -> Path:
+        return self.root / "workers"
+
+    def item_path(self, item_id_: str) -> Path:
+        return self.items_dir / f"{item_id_}.json"
+
+    # -- planning ------------------------------------------------------
+    @classmethod
+    def plan(
+        cls,
+        root,
+        fn: Callable[..., Any],
+        items: Sequence[Any],
+        label: str = "sweep",
+        salt: Optional[str] = None,
+        manifest: Optional[Manifest] = None,
+    ) -> "RunDir":
+        """Create (or verify and reuse) a run directory for this sweep.
+
+        A fresh directory gets a manifest and a pickled payload.  An
+        existing directory is *verified*: its manifest id must match the
+        one this sweep would produce, otherwise :class:`FabricError` --
+        resuming someone else's run (or a stale-code run) is an error,
+        never silent corruption.  ``manifest`` short-circuits replanning
+        when the caller already built one.
+        """
+        run = cls(root)
+        if manifest is None:
+            manifest = build_manifest(fn, items, label=label, salt=salt)
+
+        if run.manifest_path.exists():
+            existing = run.load_manifest()
+            if existing.manifest_id != manifest.manifest_id:
+                raise FabricError(
+                    f"run dir {run.root} holds a different sweep "
+                    f"(manifest {existing.manifest_id[:12]} != "
+                    f"{manifest.manifest_id[:12]}); refusing to resume"
+                )
+            return run
+
+        run.items_dir.mkdir(parents=True, exist_ok=True)
+        run.claims_dir.mkdir(parents=True, exist_ok=True)
+        run.workers_dir.mkdir(parents=True, exist_ok=True)
+        payload = pickle.dumps(list(items), protocol=4)
+        fd, tmp = tempfile.mkstemp(dir=str(run.root), suffix=".pkl.tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                fh.write(payload)
+            os.replace(tmp, str(run.payload_path))
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        atomic_write_text(
+            run.manifest_path,
+            json.dumps(manifest.to_dict(), indent=2, sort_keys=True) + "\n",
+        )
+        return run
+
+    # -- loading -------------------------------------------------------
+    def load_manifest(self) -> Manifest:
+        try:
+            doc = json.loads(self.manifest_path.read_text())
+        except (OSError, ValueError) as exc:
+            raise FabricError(
+                f"unreadable fabric manifest at {self.manifest_path}: {exc}"
+            ) from exc
+        if doc.get("schema") != SCHEMA_MANIFEST:
+            raise FabricError(
+                f"not a fabric manifest (schema {doc.get('schema')!r})"
+            )
+        return Manifest(
+            label=doc["label"],
+            fn=doc["fn"],
+            salt=doc["salt"],
+            items=list(doc["items"]),
+            manifest_id=doc["manifest_id"],
+        )
+
+    def load_items(self) -> List[Any]:
+        try:
+            with open(self.payload_path, "rb") as fh:
+                return pickle.load(fh)
+        except (OSError, pickle.UnpicklingError, EOFError) as exc:
+            raise FabricError(
+                f"unreadable fabric payload at {self.payload_path}: {exc}"
+            ) from exc
+
+    # -- spool ---------------------------------------------------------
+    def write_result(
+        self,
+        item_id_: str,
+        index: int,
+        result: Any,
+        worker: str,
+        seconds: float,
+        metrics: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        """Atomically spool one finished item.
+
+        The result travels as base64 pickle (exact round-trip for any
+        picklable value) plus, when it is JSON-clean, a readable
+        ``json`` mirror for humans and shell tooling.
+        """
+        doc: Dict[str, Any] = {
+            "schema": SCHEMA_ITEM,
+            "id": item_id_,
+            "index": index,
+            "worker": worker,
+            "seconds": seconds,
+            "pickle": base64.b64encode(
+                pickle.dumps(result, protocol=4)
+            ).decode("ascii"),
+        }
+        try:
+            mirror = json.dumps(result, sort_keys=True)
+            if json.loads(mirror) == result:
+                doc["json"] = result
+        except (TypeError, ValueError):
+            pass
+        if metrics is not None:
+            doc["metrics"] = metrics
+        atomic_write_text(
+            self.item_path(item_id_),
+            json.dumps(doc, sort_keys=True) + "\n",
+        )
+
+    def read_result(self, item_id_: str) -> Dict[str, Any]:
+        path = self.item_path(item_id_)
+        try:
+            doc = json.loads(path.read_text())
+        except (OSError, ValueError) as exc:
+            raise FabricError(
+                f"unreadable spool entry {path.name}: {exc}"
+            ) from exc
+        if doc.get("schema") != SCHEMA_ITEM or "pickle" not in doc:
+            raise FabricError(f"malformed spool entry {path.name}")
+        return doc
+
+    def result_value(self, doc: Dict[str, Any]) -> Any:
+        try:
+            return pickle.loads(base64.b64decode(doc["pickle"]))
+        except Exception as exc:
+            raise FabricError(
+                f"corrupt spool payload for item {doc.get('id')}: {exc}"
+            ) from exc
+
+    def completed_ids(self) -> "set[str]":
+        """Ids with a complete spool doc (atomic writes: no torn reads)."""
+        if not self.items_dir.is_dir():
+            return set()
+        return {
+            p.name[: -len(".json")]
+            for p in self.items_dir.glob("*.json")
+        }
+
+    def missing(self, manifest: Optional[Manifest] = None) -> List[Dict[str, Any]]:
+        """Manifest entries (non-alias) with no spool doc yet."""
+        manifest = manifest or self.load_manifest()
+        done = self.completed_ids()
+        return [
+            e
+            for e in manifest.items
+            if "alias_of" not in e and e["id"] not in done
+        ]

@@ -1,0 +1,290 @@
+"""Drive a fabric run: spawn workers, finish stragglers, merge the spool.
+
+:func:`execute` is the local-host driver ``repro fabric run`` and the
+``sweep_map`` backend share: it launches N worker processes over one
+run directory, bounds the whole run with a
+:class:`~repro.resilience.deadline.Deadline`, and -- after the workers
+join -- finishes anything still missing *in-process* (claims left by
+dead children are stale by pid and get stolen immediately).  Other
+hosts can point their own ``repro fabric run`` at the same shared
+directory; nothing here assumes it is the only driver.
+
+:func:`merge_results` folds the spool back into submission order --
+positionally identical to ``[fn(x) for x in items]`` -- and, when the
+parent has telemetry enabled, merges every item's spooled metrics
+snapshot into the live registry labeled ``{sweep,item,worker}``, the
+fabric analogue of ``sweep_map``'s worker-snapshot merge.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.errors import DeadlineExceeded, FabricError
+from repro.fabric import claims
+from repro.fabric.manifest import Manifest, RunDir, fn_ref
+from repro.fabric.worker import run_worker
+from repro.obs import events as obs
+from repro.obs import metrics as obs_metrics
+from repro.resilience.deadline import Deadline
+
+#: Poll interval while the parent watches its worker processes.  Small:
+#: on short sweeps the last join's poll granularity is pure added
+#: wall-clock against the ephemeral pool this replaces.
+_JOIN_POLL = 0.005
+
+
+def _worker_entry(
+    run_dir: str,
+    shard: int,
+    shards: int,
+    ttl: float,
+    telemetry: bool = False,
+) -> None:
+    """Child-process entry point (module-level, picklable)."""
+    run_worker(
+        run_dir, shard=shard, shards=shards, ttl=ttl, wait=False,
+        telemetry=telemetry,
+    )
+
+
+def execute(
+    run_dir,
+    fn: Optional[Callable[[Any], Any]] = None,
+    workers: int = 1,
+    ttl: float = claims.DEFAULT_TTL,
+    timeout: Optional[float] = None,
+) -> None:
+    """Run workers over a planned directory until every item is spooled.
+
+    ``workers <= 1`` runs the worker loop in-process (no fork -- the
+    mode fault-injection and the tier-1 tests exercise).  Otherwise N
+    child processes each take a shard; the parent polls under the
+    ``timeout`` deadline, then sweeps up anything the children left
+    behind.  Raises :class:`DeadlineExceeded` on timeout and
+    :class:`FabricError` if items remain missing with nothing claimable
+    (e.g. a live foreign worker holds a fresh claim).
+    """
+    run = run_dir if isinstance(run_dir, RunDir) else RunDir(run_dir)
+    deadline = Deadline.after(timeout) if timeout is not None else None
+    em = obs.get_emitter()
+    if em.enabled:
+        em.emit("fabric.run", dir=str(run.root), workers=workers)
+        obs_metrics.registry().counter("fabric.run").inc()
+
+    # Never fork more workers than there are unclaimed items: each
+    # process is real fork/teardown wall-clock, and a worker with an
+    # empty queue contributes nothing but that overhead.
+    if workers > 1:
+        workers = min(workers, max(1, len(run.missing())))
+
+    if workers <= 1:
+        run_worker(
+            run, fn=fn, shard=0, shards=1, ttl=ttl, deadline=deadline,
+            wait=False,
+        )
+    else:
+        import multiprocessing as mp
+
+        procs = [
+            mp.Process(
+                target=_worker_entry,
+                args=(str(run.root), shard, workers, ttl, em.enabled),
+                daemon=True,
+            )
+            for shard in range(workers)
+        ]
+        for p in procs:
+            p.start()
+        try:
+            while any(p.is_alive() for p in procs):
+                if deadline is not None and deadline.remaining() <= 0:
+                    for p in procs:
+                        p.terminate()
+                    for p in procs:
+                        p.join(timeout=1.0)
+                    raise DeadlineExceeded(
+                        f"fabric run exceeded {timeout}s", phase="fabric.run"
+                    )
+                time.sleep(_JOIN_POLL)
+        finally:
+            for p in procs:
+                if p.is_alive():  # pragma: no cover - deadline path only
+                    p.terminate()
+                p.join(timeout=1.0)
+        # Children exited (cleanly or killed): finish any leftovers
+        # here.  Dead children's claims are stale by pid, so the
+        # in-process worker steals them without waiting out the ttl.
+        run_worker(
+            run, fn=fn, shard=0, shards=1, ttl=ttl, deadline=deadline,
+            wait=False,
+        )
+
+    manifest = run.load_manifest()
+    missing = run.missing(manifest)
+    if missing:
+        holders = sorted(e["index"] for e in missing)
+        raise FabricError(
+            f"fabric run at {run.root} still missing {len(missing)} "
+            f"item(s) {holders[:8]}{'...' if len(holders) > 8 else ''} "
+            f"(held by live foreign workers, or workers kept failing)"
+        )
+
+
+def partial_results(run_dir) -> "tuple[List[Any], List[bool]]":
+    """Whatever the spool already holds, in submission order.
+
+    Returns ``(results, done)`` with ``None`` holes; the ``sweep_map``
+    fallback path uses this to avoid re-executing items that finished
+    before a fabric-infrastructure failure.  Unreadable entries simply
+    stay missing.
+    """
+    run = run_dir if isinstance(run_dir, RunDir) else RunDir(run_dir)
+    manifest = run.load_manifest()
+    n = len(manifest.items)
+    results: List[Any] = [None] * n
+    done = [False] * n
+    docs: Dict[str, Any] = {}
+    for entry in manifest.items:
+        if "alias_of" in entry:
+            continue
+        try:
+            doc = run.read_result(entry["id"])
+            docs[entry["id"]] = doc
+            results[entry["index"]] = run.result_value(doc)
+            done[entry["index"]] = True
+        except FabricError:
+            continue
+    for entry in manifest.items:  # aliases mirror their targets
+        if "alias_of" in entry and done[entry["alias_of"]]:
+            results[entry["index"]] = results[entry["alias_of"]]
+            done[entry["index"]] = True
+    return results, done
+
+
+def merge_results(run_dir, strict: bool = True) -> List[Any]:
+    """Fold the spool into submission-ordered results.
+
+    With ``strict`` (the default) a missing or unreadable entry raises
+    :class:`FabricError` naming the holes -- a merge must never silently
+    shorten a sweep.  When the parent's telemetry is enabled, each
+    item's spooled metrics snapshot merges into the live registry
+    labeled ``{sweep=<label>, item=<index>, worker=<wid>}`` (call merge
+    once per registry, or counters double).
+    """
+    run = run_dir if isinstance(run_dir, RunDir) else RunDir(run_dir)
+    manifest = run.load_manifest()
+    telemetry = obs.get_emitter().enabled
+    results: List[Any] = [None] * len(manifest.items)
+    done = [False] * len(manifest.items)
+    holes: List[int] = []
+    for entry in manifest.items:
+        if "alias_of" in entry:
+            continue
+        try:
+            doc = run.read_result(entry["id"])
+        except FabricError:
+            holes.append(entry["index"])
+            continue
+        results[entry["index"]] = run.result_value(doc)
+        done[entry["index"]] = True
+        if telemetry and isinstance(doc.get("metrics"), dict):
+            obs_metrics.registry().merge_snapshot(
+                doc["metrics"],
+                labels={
+                    "sweep": manifest.label,
+                    "item": entry["index"],
+                    "worker": doc.get("worker", "?"),
+                },
+            )
+    for entry in manifest.items:
+        if "alias_of" not in entry:
+            continue
+        if done[entry["alias_of"]]:
+            results[entry["index"]] = results[entry["alias_of"]]
+            done[entry["index"]] = True
+        else:
+            holes.append(entry["index"])
+    if holes and strict:
+        holes.sort()
+        raise FabricError(
+            f"fabric merge at {run.root}: {len(holes)} item(s) missing "
+            f"from the spool: {holes[:8]}{'...' if len(holes) > 8 else ''}"
+        )
+    return results
+
+
+def status(run_dir) -> Dict[str, Any]:
+    """One JSON-ready snapshot of a run directory's progress."""
+    run = run_dir if isinstance(run_dir, RunDir) else RunDir(run_dir)
+    manifest = run.load_manifest()
+    completed = run.completed_ids()
+    entries = [e for e in manifest.items if "alias_of" not in e]
+    claimed = fresh = stale = 0
+    for entry in entries:
+        if entry["id"] in completed:
+            continue
+        if claims.claim_path(run.claims_dir, entry["id"]).exists():
+            claimed += 1
+            if claims.is_stale(run.claims_dir, entry["id"]):
+                stale += 1
+            else:
+                fresh += 1
+    workers: List[Dict[str, Any]] = []
+    if run.workers_dir.is_dir():
+        for path in sorted(run.workers_dir.glob("*.json")):
+            try:
+                doc = json.loads(path.read_text())
+            except (OSError, ValueError):
+                continue
+            workers.append(
+                {
+                    "worker": doc.get("worker", path.stem),
+                    "executed": len(doc.get("executed", [])),
+                    "stolen": len(doc.get("stolen", [])),
+                    "seconds": doc.get("seconds"),
+                }
+            )
+    done = sum(1 for e in entries if e["id"] in completed)
+    return {
+        "dir": str(run.root),
+        "label": manifest.label,
+        "manifest_id": manifest.manifest_id,
+        "fn": manifest.fn,
+        "total": len(manifest.items),
+        "unique": len(entries),
+        "done": done,
+        "missing": len(entries) - done,
+        "claimed": claimed,
+        "claimed_fresh": fresh,
+        "claimed_stale": stale,
+        "workers": workers,
+    }
+
+
+def sweep_run(
+    fn: Callable[[Any], Any],
+    items: List[Any],
+    label: str,
+    root,
+    workers: int,
+    ttl: float = claims.DEFAULT_TTL,
+    timeout: Optional[float] = None,
+) -> "tuple[RunDir, List[Any]]":
+    """Plan-or-resume under ``root``, execute, merge: the sweep backend.
+
+    The run directory is ``<root>/<label>-<manifest_id[:12]>`` --
+    content-addressed, so re-invoking the same sweep resumes its own
+    directory and a changed sweep gets a fresh one, no flags needed.
+    """
+    from pathlib import Path
+
+    from repro.fabric.manifest import build_manifest
+
+    manifest = build_manifest(fn, items, label=label)
+    run_root = Path(root) / f"{label}-{manifest.manifest_id[:12]}"
+    run = RunDir.plan(run_root, fn, items, label=label, manifest=manifest)
+    execute(run, fn=fn, workers=workers, ttl=ttl, timeout=timeout)
+    return run, merge_results(run)

@@ -1,0 +1,265 @@
+"""The fabric worker: claim, execute, spool, repeat; steal stragglers.
+
+A worker is a *stateless* consumer of a run directory: everything it
+needs (items, ordering, completion state) lives on disk, so any number
+of workers -- in one process, many processes, or many hosts -- can run
+the same loop concurrently and the run converges.
+
+Scheduling is **fingerprint-affinity first**: every manifest entry
+carries an affinity key (the hash of the item's content-bearing
+components, numeric parameters projected out -- see
+:func:`repro.fabric.manifest.affinity_key`), and worker ``k`` of ``n``
+first drains the partition ``int(affinity, 16) % n == k`` in affinity
+order.  Same-analysis items (the same programs at different register
+budgets) therefore land consecutively on the same worker, where the
+warm :class:`~repro.core.cache.AnalysisCache` and shared-descent
+trajectories pay off -- the BUNDLEP-style conflict-free-region
+placement from PAPERS.md applied to sweep items.
+
+After its own partition a worker turns **work-stealing tail**: it scans
+the remaining missing items (everyone's partitions), claims anything
+unclaimed, and re-claims claims that have gone stale
+(:func:`repro.fabric.claims.is_stale` -- dead pid or expired ttl), so
+one hung or killed worker cannot hold the run's tail hostage.
+
+Each executed item runs under its own scoped metrics registry and
+capture emitter -- the same instrumented code paths a telemetry-enabled
+serial run takes -- and the snapshot is spooled *with the result*, so
+per-item telemetry survives worker death and merges identically on any
+later host (labels ``{sweep,item,worker}``).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import importlib
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.errors import FabricError, InjectedFault
+from repro.fabric import claims
+from repro.fabric.manifest import Manifest, RunDir, atomic_write_text, fn_ref
+from repro.obs import events as obs
+from repro.obs import metrics as obs_metrics
+from repro.resilience import deadline as deadline_mod
+from repro.resilience import faults
+
+SCHEMA_WORKER = "repro.fabric-worker/1"
+
+
+def resolve_fn(ref: str) -> Callable[[Any], Any]:
+    """Import the worker function named by a manifest's ``module:qualname``.
+
+    Only module-level callables resolve (the same restriction
+    ``sweep_map`` already imposes via pickling); anything with ``<`` in
+    its qualname (lambdas, locals) is refused with a typed error.
+    """
+    module_name, _, qualname = ref.partition(":")
+    if not module_name or not qualname or "<" in qualname:
+        raise FabricError(f"cannot import worker fn from ref {ref!r}")
+    try:
+        obj: Any = importlib.import_module(module_name)
+        for part in qualname.split("."):
+            obj = getattr(obj, part)
+    except (ImportError, AttributeError) as exc:
+        raise FabricError(f"worker fn {ref!r} not importable: {exc}") from exc
+    if not callable(obj):
+        raise FabricError(f"worker fn {ref!r} is not callable")
+    return obj
+
+
+@dataclass
+class WorkerSummary:
+    """What one worker pass did (also spooled to ``workers/<wid>.json``)."""
+
+    worker: str
+    shard: int
+    shards: int
+    executed: List[int] = field(default_factory=list)  #: item indices
+    stolen: List[int] = field(default_factory=list)  #: subset re-claimed
+    seconds: float = 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema": SCHEMA_WORKER,
+            "worker": self.worker,
+            "pid": os.getpid(),
+            "shard": self.shard,
+            "shards": self.shards,
+            "executed": self.executed,
+            "stolen": self.stolen,
+            "seconds": self.seconds,
+        }
+
+
+def _affinity_order(entries: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    return sorted(entries, key=lambda e: (e["affinity"], e["index"]))
+
+
+def _execute(
+    run: RunDir,
+    fn: Callable[[Any], Any],
+    entry: Dict[str, Any],
+    item: Any,
+    worker: str,
+    telemetry: bool = False,
+) -> None:
+    """Run one claimed item and spool result + telemetry atomically.
+
+    The ``fabric.item`` fault site sits between claim and execution;
+    mode ``crash`` raises :class:`InjectedFault` *without releasing the
+    claim* -- modelling a worker killed mid-item, whose claim must be
+    reaped by the staleness machinery, not politely returned.
+
+    Every item runs under its own scoped metrics registry, so the
+    spooled snapshot always carries the ``fabric.item.executed``
+    counter the resume gates count.  The capture *emitter* -- which
+    turns on every instrumented code path inside ``fn`` -- only wraps
+    the call when the driving parent had telemetry enabled
+    (``telemetry``), the same zero-cost-when-disabled rule
+    ``sweep_map``'s worker wrapper follows.
+    """
+    spec = faults.fire("fabric.item", item=entry["index"], worker=worker)
+    if spec is not None:
+        raise InjectedFault(
+            f"injected fabric worker crash at item {entry['index']}"
+        )
+    t0 = time.perf_counter()
+    try:
+        with obs_metrics.scoped() as reg:
+            with obs.capture() if telemetry else contextlib.nullcontext():
+                reg.counter("fabric.item.executed").inc()
+                result = fn(item)
+                snap = reg.snapshot()
+    except BaseException:
+        # A genuine fn error: hand the item back so the error surfaces
+        # on whoever (including a resume) runs it next -- a dead claim
+        # would only delay the same failure behind a ttl.
+        claims.release(run.claims_dir, entry["id"])
+        raise
+    run.write_result(
+        entry["id"],
+        entry["index"],
+        result,
+        worker=worker,
+        seconds=time.perf_counter() - t0,
+        metrics=snap,
+    )
+    claims.release(run.claims_dir, entry["id"])
+
+
+def run_worker(
+    run_dir,
+    fn: Optional[Callable[[Any], Any]] = None,
+    shard: int = 0,
+    shards: int = 1,
+    worker: Optional[str] = None,
+    ttl: float = claims.DEFAULT_TTL,
+    deadline: Optional[deadline_mod.Deadline] = None,
+    poll: float = 0.05,
+    wait: bool = True,
+    telemetry: Optional[bool] = None,
+) -> WorkerSummary:
+    """Drain a run directory as worker ``shard`` of ``shards``.
+
+    Returns when every manifest item has a spool entry -- or, with
+    ``wait=False``, as soon as the only remaining items are held by
+    *fresh* claims (another live worker is on them).  ``deadline``
+    bounds the whole pass (checked between items);  ``fn=None``
+    resolves the worker function from the manifest's ``fn`` ref.
+    ``telemetry`` forces per-item event capture on or off; the default
+    follows this process's live emitter (a child process inherits the
+    parent's choice through :func:`repro.fabric.runner.execute`).
+    """
+    if telemetry is None:
+        telemetry = obs.get_emitter().enabled
+    run = run_dir if isinstance(run_dir, RunDir) else RunDir(run_dir)
+    manifest = run.load_manifest()
+    if fn is None:
+        fn = resolve_fn(manifest.fn)
+    elif fn_ref(fn) != manifest.fn:
+        raise FabricError(
+            f"worker fn {fn_ref(fn)} does not match manifest fn "
+            f"{manifest.fn}"
+        )
+    items = run.load_items()
+    wid = worker if worker is not None else f"w{shard}.{os.getpid()}"
+    summary = WorkerSummary(worker=wid, shard=shard, shards=shards)
+    t_start = time.perf_counter()
+    shards = max(1, shards)
+
+    def checkpoint() -> None:
+        summary.seconds = time.perf_counter() - t_start
+        atomic_write_text(
+            run.workers_dir / f"{wid}.json",
+            json.dumps(summary.to_dict(), sort_keys=True) + "\n",
+        )
+
+    def note(event: str, entry: Dict[str, Any]) -> None:
+        em = obs.get_emitter()
+        if em.enabled:
+            em.emit(event, worker=wid, item=entry["index"], id=entry["id"])
+            obs_metrics.registry().counter(event).inc()
+
+    def take(entry: Dict[str, Any], stolen: bool = False) -> bool:
+        """Execute one claimed entry; the claim is already held."""
+        if run.item_path(entry["id"]).exists():
+            # Completed between the missing-scan and our claim (or by a
+            # stale-but-alive straggler); nothing to do.
+            claims.release(run.claims_dir, entry["id"])
+            return False
+        _execute(
+            run, fn, entry, items[entry["index"]], wid, telemetry=telemetry
+        )
+        summary.executed.append(entry["index"])
+        if stolen:
+            summary.stolen.append(entry["index"])
+            note("fabric.steal", entry)
+        checkpoint()
+        return True
+
+    entries = [e for e in manifest.items if "alias_of" not in e]
+    own = _affinity_order(
+        [e for e in entries if int(e["affinity"], 16) % shards == shard]
+    )
+    rest = _affinity_order(
+        [e for e in entries if int(e["affinity"], 16) % shards != shard]
+    )
+
+    # Pass 1: own partition, then everyone else's leftovers -- plain
+    # O_EXCL claims only, no stealing yet.
+    for entry in own + rest:
+        deadline_mod.check(deadline, "fabric.worker")
+        if run.item_path(entry["id"]).exists():
+            continue
+        if claims.try_claim(run.claims_dir, entry["id"], wid):
+            take(entry)
+
+    # Tail: whatever is still missing is either in flight on a live
+    # worker (fresh claim -- skip, or wait) or abandoned (no claim /
+    # stale claim -- take it).
+    while True:
+        deadline_mod.check(deadline, "fabric.worker")
+        missing = run.missing(manifest)
+        if not missing:
+            break
+        progressed = False
+        for entry in _affinity_order(missing):
+            deadline_mod.check(deadline, "fabric.worker")
+            if run.item_path(entry["id"]).exists():
+                progressed = True
+                continue
+            if claims.try_claim(run.claims_dir, entry["id"], wid):
+                progressed = take(entry) or progressed
+            elif claims.steal(run.claims_dir, entry["id"], wid, ttl=ttl):
+                progressed = take(entry, stolen=True) or progressed
+        if not progressed:
+            if not wait:
+                break
+            time.sleep(poll)
+
+    checkpoint()
+    return summary

@@ -69,85 +69,105 @@ def _lane_matches(machine, outcome, run) -> bool:
     )
 
 
+def _batch_row(point: tuple) -> BatchPerfRow:
+    """One kernel's comparison (module-level so sweeps can pickle it).
+
+    Both wall-clock sides of the row are measured inside this call, so
+    the reported per-kernel ratio is process-local and stays valid when
+    rows are distributed over a sweep.
+    """
+    from repro.sim.batch import build_batch_machine
+    from repro.sim.run import run_threads
+
+    name, lanes, packets, ref_lanes = point
+    seeds = list(range(1, lanes + 1))
+    program = load(name)
+    # The scalar results are all retained for the identity check
+    # below; without pausing the collector, cyclic-GC passes over
+    # that ever-growing heap would be billed to the fast engine.
+    gc.collect()
+    gc.disable()
+    try:
+        t0 = time.perf_counter()
+        fast = [
+            run_threads(
+                [program],
+                seed=seed,
+                packets_per_thread=packets,
+                engine="fast",
+            )
+            for seed in seeds
+        ]
+        fast_s = time.perf_counter() - t0
+    finally:
+        gc.enable()
+    machine = build_batch_machine(
+        [program], seeds, packets_per_thread=packets
+    )
+    gc.collect()
+    gc.disable()
+    try:
+        t0 = time.perf_counter()
+        outcomes = machine.run_batch()
+        batch_s = time.perf_counter() - t0
+    finally:
+        gc.enable()
+    identical = all(
+        _lane_matches(machine, o, r) for o, r in zip(outcomes, fast)
+    )
+    if identical and ref_lanes:
+        for seed, outcome in list(zip(seeds, outcomes))[:ref_lanes]:
+            reference = run_threads(
+                [program],
+                seed=seed,
+                packets_per_thread=packets,
+                engine="reference",
+            )
+            if not _lane_matches(machine, outcome, reference):
+                identical = False
+                break
+    instructions = sum(
+        sum(t.instructions for t in o.stats.threads)
+        for o in outcomes
+        if o.error is None
+    )
+    return BatchPerfRow(
+        name=name,
+        lanes=lanes,
+        packets=packets,
+        instructions=instructions,
+        fast_run_s=fast_s,
+        batch_run_s=batch_s,
+        fast_ips=instructions / fast_s if fast_s else 0.0,
+        batch_ips=instructions / batch_s if batch_s else 0.0,
+        speedup=fast_s / batch_s if batch_s else 0.0,
+        lanes_identical=identical,
+    )
+
+
 def run_batchperf(
     names: Optional[Sequence[str]] = None,
     lanes: int = 64,
     packets: int = 16,
     ref_lanes: int = 1,
+    jobs: int = 1,
 ) -> List[BatchPerfRow]:
     """Compare N fast runs vs one batch over the suite (all kernels by
-    default); seeds are ``1..lanes``, one lane per seed."""
-    from repro.sim.batch import build_batch_machine
-    from repro.sim.run import run_threads
+    default); seeds are ``1..lanes``, one lane per seed.
 
-    rows: List[BatchPerfRow] = []
-    seeds = list(range(1, lanes + 1))
-    for name in names or list(BENCHMARKS):
-        program = load(name)
-        # The scalar results are all retained for the identity check
-        # below; without pausing the collector, cyclic-GC passes over
-        # that ever-growing heap would be billed to the fast engine.
-        gc.collect()
-        gc.disable()
-        try:
-            t0 = time.perf_counter()
-            fast = [
-                run_threads(
-                    [program],
-                    seed=seed,
-                    packets_per_thread=packets,
-                    engine="fast",
-                )
-                for seed in seeds
-            ]
-            fast_s = time.perf_counter() - t0
-        finally:
-            gc.enable()
-        machine = build_batch_machine(
-            [program], seeds, packets_per_thread=packets
-        )
-        gc.collect()
-        gc.disable()
-        try:
-            t0 = time.perf_counter()
-            outcomes = machine.run_batch()
-            batch_s = time.perf_counter() - t0
-        finally:
-            gc.enable()
-        identical = all(
-            _lane_matches(machine, o, r) for o, r in zip(outcomes, fast)
-        )
-        if identical and ref_lanes:
-            for seed, outcome in list(zip(seeds, outcomes))[:ref_lanes]:
-                reference = run_threads(
-                    [program],
-                    seed=seed,
-                    packets_per_thread=packets,
-                    engine="reference",
-                )
-                if not _lane_matches(machine, outcome, reference):
-                    identical = False
-                    break
-        instructions = sum(
-            sum(t.instructions for t in o.stats.threads)
-            for o in outcomes
-            if o.error is None
-        )
-        rows.append(
-            BatchPerfRow(
-                name=name,
-                lanes=lanes,
-                packets=packets,
-                instructions=instructions,
-                fast_run_s=fast_s,
-                batch_run_s=batch_s,
-                fast_ips=instructions / fast_s if fast_s else 0.0,
-                batch_ips=instructions / batch_s if batch_s else 0.0,
-                speedup=fast_s / batch_s if batch_s else 0.0,
-                lanes_identical=identical,
-            )
-        )
-    return rows
+    ``jobs`` distributes kernels over :func:`~repro.harness.sweep.
+    sweep_map` (fabric included, when configured); each row's two
+    timings happen inside one worker so its ratio is unaffected by the
+    distribution.  The default stays serial -- absolute wall-clock
+    comparisons should stay on one core.
+    """
+    from repro.harness.sweep import sweep_map
+
+    points = [
+        (name, lanes, packets, ref_lanes)
+        for name in (names or list(BENCHMARKS))
+    ]
+    return sweep_map(_batch_row, points, jobs=jobs, label="batch")
 
 
 def summarize_batchperf(rows: Sequence[BatchPerfRow]) -> Dict[str, Any]:

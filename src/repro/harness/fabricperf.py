@@ -1,0 +1,213 @@
+"""Fabric throughput: serial vs process pool vs the durable fabric.
+
+Three passes over the same suite x budget grid as
+:mod:`repro.harness.allocperf` (every kernel at its bounds-derived
+ceiling / midpoint / near-floor budgets, ``nthd`` identical threads),
+all executing :func:`~repro.harness.allocperf._alloc_summary` through
+the public pipeline:
+
+* **serial** -- ``[fn(p) for p in grid]`` on a cleared analysis cache:
+  the cold single-process baseline, exactly the wall-clock a fresh
+  serial sweep costs;
+* **pool** -- :func:`~repro.harness.sweep.sweep_map` with ``workers``
+  processes forked from the warm parent (the analysis cache rides along
+  fork copy-on-write) -- the same framing as allocperf's parallel pass:
+  the wall-clock a warmed CLI session gets from ``--jobs``;
+* **fabric** -- the same grid planned into a fresh run directory and
+  driven by :func:`repro.fabric.sweep_run`, workers likewise forked
+  from the warm parent: claims, spool writes, telemetry spooling, and
+  the merge are all inside the timed window, so ``fabric_speedup``
+  prices the durability machinery, not just the forking.
+
+Each timed pass is best-of-:data:`_REPEATS`, the reps interleaved
+(serial, warm, pool, fabric per rep) so bursty load on a shared host
+slows whole reps instead of skewing one pass's best, and the fabric
+pass uses a *fresh root per run* so resume can never fake a win.  ``identical`` is byte-for-byte JSON equality of every pass's
+summary list -- any divergence invalidates the speedups.  The headline
+gates (``benchmarks/bench_fabric.py``, CI): ``fabric_speedup >= 2``
+over serial at 4 workers, and ``pool_ratio <= 1.10`` -- the fabric may
+cost at most 10% over the ephemeral pool it replaces.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.core.cache import AnalysisCache, scoped
+from repro.harness.allocperf import _alloc_summary, build_grid
+from repro.harness.report import text_table
+from repro.harness.sweep import default_jobs, sweep_map
+
+#: Timed repetitions per pass; best-of wins.  The pool and fabric reps
+#: are interleaved (pool, fabric, pool, fabric, ...) so bursty load on
+#: a shared host hits both sides alike instead of skewing their ratio.
+_REPEATS = 3
+
+
+@dataclass
+class FabricBenchReport:
+    """Everything ``BENCH_fabric.json`` carries."""
+
+    kernels: List[str]
+    grid_points: int
+    workers: int
+    cpu_count: int
+    serial_s: float
+    pool_s: float
+    fabric_s: float
+    identical: bool
+    points: List[Dict[str, Any]] = field(default_factory=list)
+    #: Spool/steal accounting from the final fabric run's status doc.
+    stolen: int = 0
+
+    @property
+    def fabric_speedup(self) -> float:
+        return self.serial_s / self.fabric_s if self.fabric_s else 0.0
+
+    @property
+    def pool_speedup(self) -> float:
+        return self.serial_s / self.pool_s if self.pool_s else 0.0
+
+    @property
+    def pool_ratio(self) -> float:
+        """Fabric wall-clock over pool wall-clock (<= 1 means faster)."""
+        return self.fabric_s / self.pool_s if self.pool_s else 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kernels": self.kernels,
+            "grid_points": self.grid_points,
+            "workers": self.workers,
+            "cpu_count": self.cpu_count,
+            "serial_s": self.serial_s,
+            "pool_s": self.pool_s,
+            "fabric_s": self.fabric_s,
+            "fabric_speedup": self.fabric_speedup,
+            "pool_speedup": self.pool_speedup,
+            "pool_ratio": self.pool_ratio,
+            "identical": self.identical,
+            "stolen": self.stolen,
+            "points": self.points,
+        }
+
+
+def run_fabric_bench(
+    names: Optional[Sequence[str]] = None,
+    nthd: int = 2,
+    workers: Optional[int] = None,
+) -> FabricBenchReport:
+    """Measure serial vs pool vs fabric over the grid (module docstring).
+
+    ``workers`` defaults to ``max(2, min(4, cpu_count))`` so both
+    parallel passes genuinely exercise worker processes.  ``nthd``
+    defaults to the paper's two-thread PU: analysis cost then dominates
+    each point, which is exactly the workload the fabric's
+    fingerprint-affinity placement targets (the four-thread,
+    budget-phase-heavy variant is allocperf's parallel pass).
+    """
+    from repro import fabric
+
+    from repro.suite.registry import BENCHMARKS
+
+    if workers is None:
+        workers = max(2, min(4, default_jobs()))
+    names = list(names or BENCHMARKS)
+    with scoped(AnalysisCache(capacity=256)) as cache:
+        grid = build_grid(names, nthd=nthd)
+
+        # All four passes of one rep run back to back -- cold serial,
+        # warm re-warm, pool, fabric -- so a load burst on a shared
+        # host slows a whole rep rather than skewing one pass's best.
+        serial_runs: List[List[Dict[str, Any]]] = []
+        pool_runs: List[List[Dict[str, Any]]] = []
+        fabric_runs: List[List[Dict[str, Any]]] = []
+        serial_s = pool_s = fabric_s = float("inf")
+        stolen = 0
+        with tempfile.TemporaryDirectory(prefix="repro-fabricperf-") as tmp:
+            for rep in range(_REPEATS):
+                cache.clear()
+                start = time.perf_counter()
+                serial_runs.append([_alloc_summary(p) for p in grid])
+                serial_s = min(serial_s, time.perf_counter() - start)
+
+                # Re-warm the parent: both parallel passes fork their
+                # workers from this state (allocperf's parallel-pass
+                # framing), and the warm summaries join the identity
+                # check.
+                pool_runs.append([_alloc_summary(p) for p in grid])
+
+                start = time.perf_counter()
+                pool_runs.append(
+                    sweep_map(
+                        _alloc_summary, grid, jobs=workers, label="fabricperf"
+                    )
+                )
+                pool_s = min(pool_s, time.perf_counter() - start)
+
+                root = Path(tmp) / f"run{rep}"  # fresh root: no resume wins
+                start = time.perf_counter()
+                run, results = fabric.sweep_run(
+                    _alloc_summary,
+                    grid,
+                    label="fabricperf",
+                    root=root,
+                    workers=workers,
+                )
+                elapsed = time.perf_counter() - start
+                fabric_runs.append(results)
+                if elapsed < fabric_s:
+                    fabric_s = elapsed
+                    stolen = sum(
+                        w.get("stolen") or 0
+                        for w in fabric.status(run)["workers"]
+                    )
+
+    as_json = [
+        json.dumps(r, sort_keys=True)
+        for r in (*serial_runs, *pool_runs, *fabric_runs)
+    ]
+    identical = all(j == as_json[0] for j in as_json[1:])
+    return FabricBenchReport(
+        kernels=names,
+        grid_points=len(grid),
+        workers=workers,
+        cpu_count=os.cpu_count() or 1,
+        serial_s=serial_s,
+        pool_s=pool_s,
+        fabric_s=fabric_s,
+        identical=identical,
+        points=serial_runs[-1],
+        stolen=stolen,
+    )
+
+
+def render_fabric(report: FabricBenchReport) -> str:
+    headers = ["pass", "wall s", "speedup vs serial"]
+    rows = [
+        ("serial", f"{report.serial_s:.3f}", "1.00x"),
+        (
+            f"pool x{report.workers}",
+            f"{report.pool_s:.3f}",
+            f"{report.pool_speedup:.2f}x",
+        ),
+        (
+            f"fabric x{report.workers}",
+            f"{report.fabric_s:.3f}",
+            f"{report.fabric_speedup:.2f}x",
+        ),
+    ]
+    return (
+        f"Sweep fabric throughput ({report.grid_points} grid points, "
+        f"{report.workers} workers, {report.cpu_count} CPUs)\n"
+        + text_table(headers, rows)
+        + f"\nfabric/pool wall ratio: {report.pool_ratio:.3f} "
+        f"(<= 1.10 gate)"
+        f"\nstolen items in best fabric run: {report.stolen}"
+        f"\nidentical summaries across passes: {report.identical}"
+    )

@@ -40,7 +40,7 @@ from __future__ import annotations
 import os
 import pickle
 import warnings
-from typing import Callable, List, Optional, Sequence, TypeVar
+from typing import Callable, List, Optional, Sequence, TypeVar, Union
 
 from repro.obs import events as obs
 from repro.obs import metrics as obs_metrics
@@ -122,6 +122,34 @@ class _TelemetryTask:
         return result, reg.snapshot()
 
 
+class _ChunkTask:
+    """Picklable wrapper running a whole *chunk* of items in one worker.
+
+    Chunked submission amortizes pickle/IPC overhead: one future per
+    chunk instead of one per item.  Telemetry stays **per item** -- each
+    item runs under its own scoped registry + capture, exactly like
+    :class:`_TelemetryTask`, so the parent-side merge labels are
+    indistinguishable from unchunked submission.
+    """
+
+    __slots__ = ("fn", "telemetry")
+
+    def __init__(self, fn: Callable[[T], R], telemetry: bool):
+        self.fn = fn
+        self.telemetry = telemetry
+
+    def __call__(self, chunk: List[T]) -> list:
+        out: list = []
+        for item in chunk:
+            if self.telemetry:
+                with obs_metrics.scoped() as reg, obs.capture():
+                    result = self.fn(item)
+                out.append((result, reg.snapshot()))
+            else:
+                out.append(self.fn(item))
+        return out
+
+
 def _merge_worker_snapshot(label: str, index: int, snap: dict) -> None:
     obs_metrics.registry().merge_snapshot(
         snap, labels={"sweep": label, "item": index}
@@ -143,21 +171,101 @@ def _fire_pool_fault() -> None:
     raise BrokenProcessPool("injected pool crash")
 
 
+def _fabric_sweep(
+    fn: Callable[[T], R],
+    items: List[T],
+    label: str,
+    route: tuple,
+    timeout: Optional[float],
+) -> List[R]:
+    """Run one sweep through :mod:`repro.fabric`, with serial fallback.
+
+    Fabric *infrastructure* failures (unusable run dir, deadline, a
+    foreign worker holding the tail) degrade exactly like a broken
+    pool: items already spooled keep their results, only the missing
+    complement reruns serially -- and the serial results are spooled
+    back best-effort so the run directory still converges.  Genuine
+    ``fn`` errors re-raise, as serially.
+    """
+    from pathlib import Path
+
+    from repro import fabric
+    from repro.errors import DeadlineExceeded, FabricError
+
+    root, workers = route
+    run = None
+    manifest = None
+    try:
+        manifest = fabric.build_manifest(fn, items, label=label)
+        run = fabric.RunDir.plan(
+            Path(root) / f"{label}-{manifest.manifest_id[:12]}",
+            fn,
+            items,
+            label=label,
+            manifest=manifest,
+        )
+        fabric.execute(run, fn=fn, workers=workers, timeout=timeout)
+        return fabric.merge_results(run)
+    except (FabricError, OSError, DeadlineExceeded) as exc:
+        reason = f"{type(exc).__name__}: {exc}"
+        results: List[Optional[R]] = [None] * len(items)
+        done = [False] * len(items)
+        if run is not None:
+            try:
+                results, done = fabric.partial_results(run)
+            except (FabricError, OSError):
+                pass
+        missing = [i for i, ok in enumerate(done) if not ok]
+        _note_fallback(label, reason, len(missing))
+        for i in missing:
+            results[i] = fn(items[i])
+            if run is None or manifest is None:
+                continue
+            entry = manifest.items[i]
+            if "alias_of" in entry:
+                continue
+            try:
+                run.write_result(
+                    entry["id"], i, results[i], worker="serial-fallback",
+                    seconds=0.0,
+                )
+            except (OSError, FabricError, TypeError, ValueError):
+                pass  # the answer is in hand; durability is best-effort
+        return list(results)  # type: ignore[arg-type]
+
+
 def sweep_map(
     fn: Callable[[T], R],
     items: Sequence[T],
-    jobs: int = 1,
+    jobs: Union[int, str] = 1,
     label: str = "sweep",
     timeout: Optional[float] = None,
+    chunksize: Optional[int] = None,
 ) -> List[R]:
     """``[fn(x) for x in items]``, parallel over ``jobs`` processes.
 
     Results come back in submission order regardless of completion
     order, so a parallel sweep is positionally indistinguishable from
     the serial one.  See the module docstring for the fallback rules.
+
+    ``jobs="fabric"`` (or any ``jobs > 1`` while a fabric root is
+    configured, see :func:`repro.fabric.set_fabric`) routes the sweep
+    through the durable :mod:`repro.fabric` instead of an ephemeral
+    pool.  ``chunksize`` groups items per pool submission
+    (default heuristic ``max(1, len(items) // (jobs * 4))``) to cut
+    pickle/IPC overhead on large fine-grained sweeps; order, telemetry
+    labels, and fallback semantics are unchanged.
     """
     items = list(items)
-    if jobs <= 1 or len(items) <= 1:
+    if len(items) > 1 and (
+        jobs == "fabric" or (isinstance(jobs, int) and jobs > 1)
+    ):
+        from repro import fabric
+
+        route = fabric.resolve(jobs)
+        if route is not None:
+            return _fabric_sweep(fn, items, label, route, timeout)
+    if not isinstance(jobs, int) or jobs <= 1 or len(items) <= 1:
         return [fn(item) for item in items]
     results: List[Optional[R]] = [None] * len(items)
     done = [False] * len(items)
@@ -170,29 +278,51 @@ def sweep_map(
         return [fn(item) for item in items]
 
     # With an active parent emitter, ship each worker's metrics home
-    # (see _TelemetryTask); the serial fallback path below calls the
-    # bare ``fn``, which records into the parent registry directly.
+    # (see _TelemetryTask / _ChunkTask); the serial fallback path below
+    # calls the bare ``fn``, which records into the parent registry
+    # directly.
     telemetry = obs.get_emitter().enabled
-    task: Callable = _TelemetryTask(fn) if telemetry else fn
+    if chunksize is None:
+        chunksize = max(1, len(items) // (jobs * 4))
+    chunksize = max(1, chunksize)
+    chunked = chunksize > 1
+    if chunked:
+        task: Callable = _ChunkTask(fn, telemetry)
+        units = [
+            (start, items[start : start + chunksize])
+            for start in range(0, len(items), chunksize)
+        ]
+    else:
+        task = _TelemetryTask(fn) if telemetry else fn
+        units = [(i, item) for i, item in enumerate(items)]
 
-    def harvest(i: int, raw) -> R:
+    def harvest(i: int, raw) -> None:
+        if done[i]:
+            return  # never double-merge telemetry for a harvested item
         if telemetry:
             result, snap = raw
             _merge_worker_snapshot(label, i, snap)
-            return result
-        return raw
+            results[i] = result
+        else:
+            results[i] = raw
+        done[i] = True
+
+    def harvest_unit(start: int, raw) -> None:
+        if chunked:
+            for offset, payload in enumerate(raw):
+                harvest(start + offset, payload)
+        else:
+            harvest(start, raw)
 
     pool = None
     futures: dict = {}
     try:
-        pool = ProcessPoolExecutor(max_workers=min(jobs, len(items)))
+        pool = ProcessPoolExecutor(max_workers=min(jobs, len(units)))
         futures = {
-            pool.submit(task, item): i for i, item in enumerate(items)
+            pool.submit(task, unit): start for start, unit in units
         }
         for future in as_completed(futures, timeout=timeout):
-            i = futures[future]
-            results[i] = harvest(i, future.result())  # errors re-raise
-            done[i] = True
+            harvest_unit(futures[future], future.result())  # errors re-raise
             _fire_pool_fault()
         pool.shutdown(wait=True)
         return list(results)  # type: ignore[arg-type]
@@ -206,14 +336,13 @@ def sweep_map(
                 pool.shutdown(wait=True)
         # Harvest futures that finished despite the failure: their work
         # is done and must not be re-executed (double side effects).
-        for future, i in futures.items():
-            if done[i] or not future.done() or future.cancelled():
+        for future, start in futures.items():
+            if not future.done() or future.cancelled():
                 continue
             try:
-                results[i] = harvest(i, future.result(timeout=0))
-                done[i] = True
+                harvest_unit(start, future.result(timeout=0))
             except BaseException:
-                pass  # rerun it serially below
+                pass  # rerun the chunk's unharvested items serially
         missing = [i for i, ok in enumerate(done) if not ok]
         _note_fallback(label, reason, len(missing))
         for i in missing:

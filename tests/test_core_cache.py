@@ -112,6 +112,45 @@ def test_disk_foreign_payload_is_a_miss(tmp_path):
     assert cache.stats.disk_errors == 1
 
 
+def _disk_hammer(arg):
+    """Module-level worker: concurrent reader+writer of one cache dir."""
+    tmp, rounds = arg
+    errors = 0
+    out = []
+    for _ in range(rounds):
+        cache = AnalysisCache(cache_dir=tmp)
+        for text, name in (
+            (FIG3_T1, "t1"), (FIG3_T2, "t2"), (MINI_KERNEL, "k")
+        ):
+            p = parse_program(text, name)
+            cache.analyze(p)
+            out.append((p.fingerprint(), repr(cache.bounds(p))))
+        errors += cache.stats.disk_errors
+    return out, errors
+
+
+def test_disk_layer_multiprocess_atomicity(tmp_path):
+    # The disk layer's write discipline is write-to-temp + os.replace
+    # (and quarantine is itself an os.replace), so any number of
+    # processes may race on one cache dir: a reader observes absent or
+    # complete, never torn.  Hammer the same three programs from four
+    # processes and require zero disk errors, one bounds value per
+    # fingerprint, and no temp-file or quarantine litter left behind.
+    import multiprocessing as mp
+
+    with mp.Pool(4) as pool:
+        outcomes = pool.map(_disk_hammer, [(str(tmp_path), 5)] * 4)
+    by_fp = {}
+    for out, errors in outcomes:
+        assert errors == 0
+        for fp, bounds_repr in out:
+            by_fp.setdefault(fp, set()).add(bounds_repr)
+    assert len(by_fp) == 3
+    assert all(len(values) == 1 for values in by_fp.values())
+    assert not list(tmp_path.glob("*.tmp"))
+    assert not list(tmp_path.glob("*.bad"))
+
+
 def test_env_cache_dir(tmp_path, monkeypatch):
     monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
     cache = AnalysisCache()

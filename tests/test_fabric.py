@@ -1,0 +1,341 @@
+"""Tests for the sharded, resumable sweep fabric (``repro.fabric``).
+
+Covers the three layers of the tentpole: content-addressed manifests
+(stable ids, duplicate aliasing, stale-code refusal), the file-backed
+claim protocol (exclusivity, dead-pid and ttl staleness, stealing), and
+the resume/merge machinery -- including a Hypothesis property that a
+run killed after *any* subset of items resumes by executing exactly the
+complement, and a real kill-one-worker-mid-run integration test.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import time
+
+import pytest
+
+from repro import fabric
+from repro.errors import FabricError
+from repro.fabric import claims
+from repro.fabric.manifest import (
+    RunDir,
+    affinity_key,
+    build_manifest,
+    item_id,
+)
+from repro.harness.sweep import sweep_map
+from repro.obs import events, metrics
+
+
+def _square(x):
+    return x * x
+
+
+def _metered_square(x):
+    metrics.registry().counter("fabric_test.calls").inc()
+    return x * x
+
+
+def _boom(x):
+    raise ValueError(f"boom at {x}")
+
+
+def _slow_square(x):
+    # Slow enough that a worker holding one of these can be killed
+    # mid-item from the parent (the integration test below).
+    time.sleep(0.25)
+    return x * x
+
+
+# -- manifests ---------------------------------------------------------
+
+
+def test_item_id_content_addressed():
+    # Same fn + item -> same id, across calls; any component changes it.
+    assert item_id(_square, (1, 2)) == item_id(_square, (1, 2))
+    assert item_id(_square, (1, 2)) != item_id(_square, (1, 3))
+    assert item_id(_square, (1, 2)) != item_id(_metered_square, (1, 2))
+    assert item_id(_square, 1, salt="a") != item_id(_square, 1, salt="b")
+    # Floats are bit-exact, not repr-rounded.
+    assert item_id(_square, 0.1 + 0.2) != item_id(_square, 0.3)
+
+
+def test_item_id_uses_program_fingerprint(straight):
+    # A Program contributes its content fingerprint: a reparsed copy of
+    # the same source gets the identical id (no object identity).
+    from repro.ir.parser import parse_program
+    from repro.ir.printer import format_program
+
+    clone = parse_program(format_program(straight), straight.name)
+    assert item_id(_square, straight) == item_id(_square, clone)
+
+
+def test_affinity_groups_kernels_not_budgets():
+    # Same kernel at different budgets/thread-counts -> one worker;
+    # different kernels -> (almost surely) different keys; items with
+    # no content-bearing part spread by their whole token.
+    a = affinity_key(_square, ("crc", 8, 2))
+    assert a == affinity_key(_square, ("crc", 30, 4))
+    assert a != affinity_key(_square, ("md5", 8, 2))
+    assert affinity_key(_square, 1) != affinity_key(_square, 2)
+
+
+def test_manifest_dedupes_aliases():
+    m = build_manifest(_square, [3, 7, 3, 3], salt="s")
+    entries = [e for e in m.items if "alias_of" not in e]
+    aliases = [e for e in m.items if "alias_of" in e]
+    assert len(entries) == 2 and len(aliases) == 2
+    assert all(e["alias_of"] == 0 for e in aliases)
+    assert m.manifest_id == build_manifest(
+        _square, [3, 7, 3, 3], salt="s"
+    ).manifest_id
+
+
+def test_plan_refuses_foreign_run_dir(tmp_path):
+    RunDir.plan(tmp_path, _square, [1, 2], salt="s")
+    with pytest.raises(FabricError, match="different sweep"):
+        RunDir.plan(tmp_path, _square, [1, 2, 3], salt="s")
+    # A changed code salt is a different sweep too: stale-code refusal.
+    with pytest.raises(FabricError, match="different sweep"):
+        RunDir.plan(tmp_path, _square, [1, 2], salt="other")
+
+
+def test_spool_roundtrip_and_json_mirror(tmp_path):
+    run = RunDir.plan(tmp_path, _square, [(1, 2)], salt="s")
+    entry = run.load_manifest().items[0]
+    run.write_result(entry["id"], 0, {"a": 1}, worker="w", seconds=0.1)
+    doc = run.read_result(entry["id"])
+    assert run.result_value(doc) == {"a": 1}
+    assert doc["json"] == {"a": 1}  # JSON-clean values get a mirror
+    # Tuples don't JSON-roundtrip; only the pickle travels.
+    run.write_result(entry["id"], 0, (1, 2), worker="w", seconds=0.1)
+    doc = run.read_result(entry["id"])
+    assert run.result_value(doc) == (1, 2)
+    assert "json" not in doc
+
+
+# -- claims ------------------------------------------------------------
+
+
+def test_claims_are_exclusive(tmp_path):
+    assert claims.try_claim(tmp_path, "i1", "a")
+    assert not claims.try_claim(tmp_path, "i1", "b")
+    claims.release(tmp_path, "i1")
+    assert claims.try_claim(tmp_path, "i1", "b")
+
+
+def test_fresh_claim_not_stolen(tmp_path):
+    claims.try_claim(tmp_path, "i1", "a")
+    assert not claims.is_stale(tmp_path, "i1", ttl=60.0)
+    assert not claims.steal(tmp_path, "i1", "b", ttl=60.0)
+
+
+def test_ttl_expiry_allows_steal(tmp_path):
+    claims.try_claim(tmp_path, "i1", "a")
+    assert claims.is_stale(tmp_path, "i1", ttl=0.0)
+    assert claims.steal(tmp_path, "i1", "b", ttl=0.0)
+    assert claims.read_claim(tmp_path, "i1")["worker"] == "b"
+
+
+def test_dead_pid_is_immediately_stale(tmp_path):
+    claims.try_claim(tmp_path, "i1", "a")
+    # Rewrite the claim body to name a pid that cannot exist.
+    path = claims.claim_path(tmp_path, "i1")
+    doc = json.loads(path.read_text())
+    doc["pid"] = 2 ** 22 + 1  # beyond default pid_max
+    path.write_text(json.dumps(doc))
+    assert claims.is_stale(tmp_path, "i1", ttl=3600.0)
+    assert claims.steal(tmp_path, "i1", "b", ttl=3600.0)
+
+
+# -- execute / resume / merge ------------------------------------------
+
+
+def test_fabric_matches_serial(tmp_path):
+    items = [5, 3, 5, 1, 0]  # includes a duplicate -> alias path
+    run = RunDir.plan(tmp_path, _square, items)
+    fabric.execute(run, workers=1)
+    assert fabric.merge_results(run) == [_square(x) for x in items]
+
+
+def test_multiworker_fabric_matches_serial(tmp_path):
+    items = list(range(12))
+    run = RunDir.plan(tmp_path, _square, items)
+    fabric.execute(run, workers=3)
+    assert fabric.merge_results(run) == [x * x for x in items]
+    st = fabric.status(run)
+    assert st["done"] == st["unique"] == 12 and st["missing"] == 0
+
+
+def test_merge_strict_names_holes(tmp_path):
+    run = RunDir.plan(tmp_path, _square, [1, 2, 3])
+    with pytest.raises(FabricError, match="missing"):
+        fabric.merge_results(run)
+    results, done = fabric.partial_results(run)
+    assert done == [False, False, False] and results == [None] * 3
+
+
+def test_fn_error_propagates_and_releases_claim(tmp_path):
+    run = RunDir.plan(tmp_path, _boom, [1])
+    with pytest.raises(ValueError, match="boom"):
+        fabric.execute(run, workers=1)
+    # The claim came back: a retry fails the same way instead of
+    # stalling behind a ttl.
+    entry = run.load_manifest().items[0]
+    assert not claims.claim_path(run.claims_dir, entry["id"]).exists()
+
+
+def test_merge_restores_item_telemetry(tmp_path):
+    # Telemetry-enabled parent: items execute under capture (so their
+    # own metrics spool) and the merge restores them, labeled.
+    items = [2, 4]
+    run = RunDir.plan(tmp_path, _metered_square, items)
+    with metrics.scoped() as reg, events.capture():
+        fabric.execute(run, workers=1)
+        assert fabric.merge_results(run) == [4, 16]
+    counters = reg.snapshot()["counters"]
+    merged = [
+        k for k in counters
+        if k.startswith("fabric_test.calls{") and "item=" in k
+    ]
+    assert len(merged) == 2
+
+
+def test_sweep_map_fabric_opt_in_matches_serial(tmp_path):
+    fabric.set_fabric(str(tmp_path))
+    try:
+        items = list(range(8))
+        out = sweep_map(_square, items, jobs="fabric", label="optin")
+        assert out == [x * x for x in items]
+        runs = list(tmp_path.iterdir())
+        assert len(runs) == 1 and runs[0].name.startswith("optin-")
+        # Same sweep again resumes the same directory, executes nothing.
+        before = {
+            p.name: p.stat().st_mtime_ns
+            for p in (runs[0] / "items").iterdir()
+        }
+        assert sweep_map(_square, items, jobs="fabric", label="optin") == out
+        after = {
+            p.name: p.stat().st_mtime_ns
+            for p in (runs[0] / "items").iterdir()
+        }
+        assert after == before
+    finally:
+        fabric.set_fabric(None)
+
+
+def test_sweep_map_falls_back_when_fabric_root_unusable(tmp_path):
+    # A file where the root should be: planning fails, the sweep
+    # degrades to the serial path and still returns correct results.
+    root = tmp_path / "root"
+    root.write_text("not a directory")
+    fabric.set_fabric(str(root))
+    try:
+        import warnings
+
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            out = sweep_map(_square, [1, 2, 3], jobs=2, label="bad")
+        assert out == [1, 4, 9]
+        assert any(
+            issubclass(w.category, RuntimeWarning) for w in caught
+        )
+    finally:
+        fabric.set_fabric(None)
+
+
+# -- the resume property -----------------------------------------------
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+
+@settings(max_examples=25, deadline=None)
+@given(pre_done=st.sets(st.integers(min_value=0, max_value=7)))
+def test_resume_executes_exactly_the_complement(tmp_path_factory, pre_done):
+    """Kill-anywhere durability: whatever subset of items a dead run
+    left spooled, the resume executes exactly the complement -- verified
+    by the per-item ``fabric.item.executed`` telemetry counters -- and
+    the merge equals the serial sweep."""
+    tmp = tmp_path_factory.mktemp("resume")
+    items = list(range(8))
+    run = RunDir.plan(tmp, _square, items)
+    manifest = run.load_manifest()
+    # Simulate the dead run: spool the pre-completed subset directly,
+    # leave a claim on one unfinished item (killed mid-flight).
+    for i in sorted(pre_done):
+        entry = manifest.items[i]
+        run.write_result(entry["id"], i, items[i] * items[i], "dead", 0.0)
+    remaining = [e for e in manifest.items if e["index"] not in pre_done]
+    if remaining:
+        claims.try_claim(run.claims_dir, remaining[0]["id"], "dead-worker")
+
+    # ttl=0: the orphan claim is stale immediately (its pid -- ours --
+    # is alive, so only the ttl path can reap it in-process).
+    fabric.execute(run, workers=1, ttl=0.0)
+    assert fabric.merge_results(run) == [x * x for x in items]
+
+    executed = 0
+    for entry in manifest.items:
+        if "alias_of" in entry:
+            continue
+        doc = run.read_result(entry["id"])
+        count = (doc.get("metrics") or {}).get("counters", {}).get(
+            "fabric.item.executed", 0
+        )
+        executed += count
+        # Pre-spooled entries carry the fake doc untouched.
+        assert count == (0 if entry["index"] in pre_done else 1)
+    assert executed == len(items) - len(pre_done)
+
+
+# -- kill a real worker mid-run ----------------------------------------
+
+
+def test_killed_worker_is_stolen_from(tmp_path):
+    """SIGKILL one of two real worker processes mid-item; the survivor
+    (or the driver's finishing pass) steals the dead pid's claim and
+    the run still completes, byte-identical to serial."""
+    import multiprocessing as mp
+
+    from repro.fabric.runner import _worker_entry
+
+    items = list(range(6))
+    run = RunDir.plan(tmp_path, _slow_square, items)
+    p0 = mp.Process(
+        target=_worker_entry, args=(str(tmp_path), 0, 2, 60.0), daemon=True
+    )
+    p1 = mp.Process(
+        target=_worker_entry, args=(str(tmp_path), 1, 2, 60.0), daemon=True
+    )
+    p0.start()
+    p1.start()
+    # Wait for the victim to claim something, then kill it mid-item.
+    deadline = time.time() + 30.0
+    victim_claimed = False
+    while time.time() < deadline and not victim_claimed:
+        for entry in run.load_manifest().items:
+            doc = claims.read_claim(run.claims_dir, entry["id"])
+            if doc is not None and doc.get("pid") == p0.pid:
+                victim_claimed = True
+                break
+        time.sleep(0.01)
+    assert victim_claimed, "victim worker never claimed an item"
+    os.kill(p0.pid, signal.SIGKILL)
+    p0.join(timeout=10.0)
+
+    # The survivor drains its shard and steals the dead pid's claim
+    # (immediately stale on this host -- no ttl wait).
+    p1.join(timeout=60.0)
+    assert p1.exitcode == 0
+    run_worker_missing = run.missing()
+    if run_worker_missing:
+        # The survivor exited before the corpse's claim went stale-by-
+        # scan order; the driver's finishing pass handles this case.
+        fabric.execute(run, workers=1, ttl=60.0)
+    assert fabric.merge_results(run) == [x * x for x in items]
+    st = fabric.status(run)
+    assert st["missing"] == 0

@@ -128,6 +128,58 @@ def test_worker_telemetry_survives_pool_crash(tmp_path):
     assert merged + direct == 6
 
 
+def test_chunked_preserves_order():
+    items = list(range(10))
+    assert sweep_map(_square, items, jobs=2, chunksize=3) == [
+        x * x for x in items
+    ]
+
+
+def test_chunk_heuristic_engages_on_large_sweeps():
+    # 40 items at 2 jobs -> default chunksize 5: fewer pickles, same
+    # submission-ordered results.
+    items = list(range(40))
+    assert sweep_map(_square, items, jobs=2) == [x * x for x in items]
+
+
+def test_chunked_runs_each_item_once(tmp_path):
+    worker = functools.partial(_counted_square, str(tmp_path))
+    items = list(range(9))
+    assert sweep_map(worker, items, jobs=2, chunksize=4) == [
+        x * x for x in items
+    ]
+    for x in items:
+        assert (tmp_path / f"{x}.count").read_text().count("1") == 1
+
+
+def test_chunked_telemetry_keeps_per_item_labels():
+    # Chunking is an IPC batching detail: merged worker metrics still
+    # carry one {sweep,item} label pair per item, not per chunk.
+    with metrics.scoped() as reg, events.capture():
+        out = sweep_map(_metered_square, [0, 1, 2, 3], jobs=2,
+                        label="ck", chunksize=2)
+    assert out == [0, 1, 4, 9]
+    counters = reg.snapshot()["counters"]
+    for i in range(4):
+        assert counters[f'sweep_test.calls{{item="{i}",sweep="ck"}}'] == 1
+
+
+def test_chunked_pool_crash_reruns_only_missing_items(tmp_path):
+    # The failure-path harvest walks chunks, not items; completed
+    # chunks keep their results and no item executes twice.
+    worker = functools.partial(_counted_square, str(tmp_path))
+    items = list(range(8))
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        with faults.inject(FaultSpec("sweep.pool", mode="crash")):
+            out = sweep_map(worker, items, jobs=2, chunksize=3)
+    assert out == [x * x for x in items]
+    assert any(issubclass(w.category, RuntimeWarning) for w in caught)
+    for x in items:
+        invocations = (tmp_path / f"{x}.count").read_text().count("1")
+        assert invocations == 1, f"item {x} ran {invocations} times"
+
+
 def test_pool_hang_still_completes(tmp_path):
     # A hung worker abandons the pool; in-flight items may legitimately
     # run twice (pool + serial rerun), but every result must be present
