@@ -73,6 +73,13 @@ flag exists for benchmarking and differential testing.  The default is
     submission-ordered results.  Several hosts may point ``fabric run``
     at one shared DIR; stale claims (dead pid, or older than ``--ttl``)
     are stolen.
+``serve [--port N] [--workers W] [--queue-depth D] [--store-dir DIR]``
+    Run the allocation service (``docs/SERVICE.md``): a hardened HTTP
+    frontend over the pipeline with bounded admission (typed 429 +
+    ``Retry-After``), request coalescing, a content-addressed result
+    store, per-subsystem circuit breakers, health/readiness endpoints,
+    and graceful SIGTERM drain (``--ledger PATH`` appends a run-ledger
+    row on the way out).  ``--port 0`` picks a free port and prints it.
 ``suite``
     List the built-in benchmark kernels with basic properties.
 
@@ -653,6 +660,61 @@ def cmd_fabric(args: argparse.Namespace) -> int:
         return 1
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the allocation service until SIGTERM/SIGINT, then drain."""
+    import signal
+    import threading
+    import time
+
+    from repro.service import ReproServer, ServiceConfig
+
+    config = ServiceConfig(
+        workers=args.workers,
+        queue_depth=args.queue_depth,
+        max_request_bytes=args.max_request_bytes,
+        default_deadline_s=args.deadline,
+        store_dir=args.store_dir,
+        breaker_threshold=args.breaker_threshold,
+        breaker_cooldown=args.breaker_cooldown,
+        drain_timeout_s=args.drain_timeout,
+    )
+    server = ReproServer(config, host=args.host, port=args.port)
+    server.start()
+    host, port = server.address
+    # The exact "serving on" line is the contract the smoke harness
+    # (and any wrapping orchestrator) parses for the bound port.
+    print(f"serving on http://{host}:{port}", flush=True)
+
+    stop = threading.Event()
+
+    def _on_signal(signum: int, frame: object) -> None:
+        stop.set()
+
+    signal.signal(signal.SIGTERM, _on_signal)
+    signal.signal(signal.SIGINT, _on_signal)
+    stop.wait()
+    print("draining...", file=sys.stderr, flush=True)
+    clean = server.drain_and_stop(config.drain_timeout_s)
+    if args.ledger:
+        from repro.obs import ledger
+
+        row = ledger.make_row(
+            "service",
+            server.core.ledger_metrics(),
+            config={
+                "workers": config.workers,
+                "queue_depth": config.queue_depth,
+                "breaker_threshold": config.breaker_threshold,
+            },
+            ts=time.time(),
+        )
+        out = ledger.append(row, args.ledger)
+        print(f"appended service ledger row to {out}", file=sys.stderr)
+    status = "cleanly" if clean else "with deadline-outs"
+    print(f"drained {status}", file=sys.stderr, flush=True)
+    return 0 if clean else 1
+
+
 def cmd_suite(args: argparse.Namespace) -> int:
     print(f"{'name':14} {'instrs':>6} {'CSB%':>5}")
     for name in BENCHMARKS:
@@ -1021,6 +1083,76 @@ def build_parser() -> argparse.ArgumentParser:
         )
         _add_obs_flags(q)
         q.set_defaults(func=cmd_fabric)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the allocation service (POST /v1/allocate; "
+        "docs/SERVICE.md)",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument(
+        "--port",
+        type=int,
+        default=8742,
+        help="TCP port; 0 picks a free port (printed on stdout)",
+    )
+    p.add_argument(
+        "--workers", type=int, default=2, help="pipeline worker threads"
+    )
+    p.add_argument(
+        "--queue-depth",
+        type=int,
+        default=16,
+        dest="queue_depth",
+        help="admission bound; requests beyond it shed with 429",
+    )
+    p.add_argument(
+        "--max-request-bytes",
+        type=int,
+        default=256 * 1024,
+        dest="max_request_bytes",
+        help="reject larger bodies with 413 before parsing",
+    )
+    p.add_argument(
+        "--deadline",
+        type=float,
+        default=30.0,
+        help="default per-request wall-clock budget (seconds)",
+    )
+    p.add_argument(
+        "--store-dir",
+        dest="store_dir",
+        help="persist results on disk for idempotent replay across "
+        "restarts (default: memory only)",
+    )
+    p.add_argument(
+        "--breaker-threshold",
+        type=int,
+        default=3,
+        dest="breaker_threshold",
+        help="consecutive failures before a subsystem breaker opens",
+    )
+    p.add_argument(
+        "--breaker-cooldown",
+        type=float,
+        default=30.0,
+        dest="breaker_cooldown",
+        help="seconds an open breaker waits before half-opening",
+    )
+    p.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=10.0,
+        dest="drain_timeout",
+        help="seconds SIGTERM waits for in-flight work before "
+        "deadline-ing it out",
+    )
+    p.add_argument(
+        "--ledger",
+        metavar="PATH",
+        help="append a service run-ledger row on drain",
+    )
+    p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser("suite", help="list built-in benchmarks")
     p.set_defaults(func=cmd_suite)

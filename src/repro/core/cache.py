@@ -69,6 +69,12 @@ DEFAULT_DESCENT_CAPACITY = 16
 #: ``cache.disk_to_memory`` degradation rung and disables its disk dir.
 DEFAULT_MAX_DISK_ERRORS = 4
 
+#: Quarantined (``*.bad``) entries retained per cache directory.  A
+#: flaky disk on a long-running server would otherwise grow the
+#: quarantine without bound; beyond the cap the oldest entries are
+#: unlinked (``cache.quarantine_trimmed`` event).
+DEFAULT_MAX_QUARANTINE = 32
+
 
 @dataclass
 class CacheStats:
@@ -150,6 +156,7 @@ class AnalysisCache:
         cache_dir: Optional[Union[str, pathlib.Path]] = None,
         max_disk_errors: int = DEFAULT_MAX_DISK_ERRORS,
         descent_capacity: int = DEFAULT_DESCENT_CAPACITY,
+        max_quarantine: int = DEFAULT_MAX_QUARANTINE,
     ):
         if capacity < 1:
             raise ValueError(f"cache capacity must be >= 1, got {capacity}")
@@ -163,6 +170,7 @@ class AnalysisCache:
             cache_dir = os.environ.get(ENV_CACHE_DIR) or None
         self.cache_dir = pathlib.Path(cache_dir) if cache_dir else None
         self.max_disk_errors = max_disk_errors
+        self.max_quarantine = max_quarantine
         self.stats = CacheStats()
         self._disk_error_streak = 0
         self._entries: "OrderedDict[str, _Entry]" = OrderedDict()
@@ -359,21 +367,23 @@ class AnalysisCache:
             )
             self.cache_dir = None
 
-    @staticmethod
-    def _quarantine(path: pathlib.Path) -> str:
+    def _quarantine(self, path: pathlib.Path) -> str:
         """Move a corrupt entry aside (``*.bad``) so later runs miss
         cheaply instead of re-paying the failed unpickle; returns the
-        action taken for the ``cache.disk_error`` event."""
+        action taken for the ``cache.disk_error`` event.  The retained
+        quarantine is capped (oldest-first trim, see
+        :func:`trim_quarantine`) so a flaky disk cannot grow it without
+        bound on a long-running server."""
         try:
             os.replace(path, path.with_suffix(".bad"))
-            return "quarantined"
         except OSError:
-            pass
-        try:
-            path.unlink()
-            return "deleted"
-        except OSError:
-            return "left-in-place"
+            try:
+                path.unlink()
+                return "deleted"
+            except OSError:
+                return "left-in-place"
+        trim_quarantine(path.parent, self.max_quarantine)
+        return "quarantined"
 
     def _disk_load(self, fp: str) -> Optional[_Entry]:
         path = self._disk_path(fp)
@@ -423,6 +433,57 @@ class AnalysisCache:
             self._disk_fail(fp, exc, "store-failed")
         else:
             self._disk_error_streak = 0
+
+
+def trim_quarantine(
+    directory: pathlib.Path, cap: int = DEFAULT_MAX_QUARANTINE
+) -> int:
+    """Keep at most ``cap`` quarantined ``*.bad`` entries in ``directory``.
+
+    Oldest entries (by mtime, fingerprint name breaking ties so the
+    order is deterministic on coarse-clock filesystems) are unlinked
+    first; already-gone files are skipped silently (another process may
+    trim concurrently).  Returns the number of entries removed and, when
+    anything was trimmed, emits a ``cache.quarantine_trimmed`` event and
+    counter.  Shared by the analysis cache and the service's
+    content-addressed result store.
+    """
+    if cap < 0:
+        raise ValueError(f"quarantine cap must be >= 0, got {cap}")
+    try:
+        bad = list(pathlib.Path(directory).glob("*.bad"))
+    except OSError:
+        return 0
+    if len(bad) <= cap:
+        return 0
+
+    def _age_key(path: pathlib.Path) -> Tuple[float, str]:
+        try:
+            return (path.stat().st_mtime, path.name)
+        except OSError:
+            return (0.0, path.name)
+
+    bad.sort(key=_age_key)
+    trimmed = 0
+    for victim in bad[: len(bad) - cap]:
+        try:
+            victim.unlink()
+            trimmed += 1
+        except OSError:
+            pass
+    if trimmed:
+        em = obs.get_emitter()
+        if em.enabled:
+            em.emit(
+                "cache.quarantine_trimmed",
+                directory=str(directory),
+                trimmed=trimmed,
+                cap=cap,
+            )
+            obs_metrics.registry().counter("cache.quarantine_trimmed").inc(
+                trimmed
+            )
+    return trimmed
 
 
 def _damage_entry(path: pathlib.Path, mode: str) -> None:

@@ -86,6 +86,56 @@ class DeadlineExceeded(ReproError):
         super().__init__(message)
 
 
+class ServiceError(ReproError):
+    """Base class for failures of the allocation service frontend.
+
+    Raised (and mapped into typed response envelopes) by
+    :mod:`repro.service`; subclasses carry the machine-readable fields
+    a client needs to react without parsing message text.
+    """
+
+
+class ServiceOverloaded(ServiceError):
+    """The service shed a request at the admission boundary.
+
+    Raised when the bounded admission queue is full, or when the server
+    is draining and no longer admits work.  ``retry_after`` is the
+    suggested client backoff in seconds -- the HTTP layer surfaces it
+    as a ``Retry-After`` header on the 429 response.
+    """
+
+    def __init__(self, message: str, retry_after: float = 0.05):
+        self.retry_after = retry_after
+        super().__init__(message)
+
+    def __reduce__(self):
+        return (
+            type(self),
+            (self.args[0] if self.args else "", self.retry_after),
+        )
+
+
+class RequestRejected(ServiceError):
+    """A service request was refused before any analysis work.
+
+    Structural problems with the request itself: oversized bodies,
+    non-JSON payloads, unknown fields, missing programs, out-of-range
+    budgets.  ``reason`` is a short machine-readable slug
+    (``too-large``, ``malformed``, ``bad-field``) so tests and clients
+    can branch without string-matching the message.
+    """
+
+    def __init__(self, message: str, reason: str = "malformed"):
+        self.reason = reason
+        super().__init__(message)
+
+    def __reduce__(self):
+        return (
+            type(self),
+            (self.args[0] if self.args else "", self.reason),
+        )
+
+
 class FabricError(ReproError):
     """A fabric run directory is unusable or incomplete.
 

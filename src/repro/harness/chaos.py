@@ -285,6 +285,156 @@ def _body_runaway_batch(ctx: _Ctx) -> None:
     raise results[0].error
 
 
+def _service_doc(ctx: _Ctx, nreg: int) -> Dict[str, Any]:
+    """A service request for the scenario's programs at ``nreg``."""
+    from repro.ir.printer import format_program
+
+    return {
+        "programs": [
+            {"asm": format_program(p), "name": f"t{i}"}
+            for i, p in enumerate(ctx.programs)
+        ],
+        "nreg": nreg,
+    }
+
+
+def _service_expected(ctx: _Ctx, nreg: int) -> Dict[str, Any]:
+    """The direct-pipeline payload oracle, computed fault-free."""
+    from repro.ir.parser import parse_program
+    from repro.ir.printer import format_program
+    from repro.service import protocol as sproto
+
+    with faults.suspended():
+        programs = [
+            parse_program(format_program(p), f"t{i}")
+            for i, p in enumerate(ctx.programs)
+        ]
+        return sproto.outcome_payload(allocate_programs(programs, nreg))
+
+
+def _body_service_handler(ctx: _Ctx) -> None:
+    """A worker dies mid-request; the caller gets a *typed* envelope,
+    and an immediate retry serves the byte-identical healthy payload."""
+    from repro.service.server import ServiceConfig, ServiceCore
+
+    core = ServiceCore(ServiceConfig(workers=1, queue_depth=4))
+    core.start()
+    try:
+        doc = _service_doc(ctx, ctx.nreg)
+        status, envelope = core.submit(doc)
+        if status != 500 or envelope["error"]["type"] != "InjectedFault":
+            raise InjectedFault(
+                f"handler fault did not surface as a typed envelope: "
+                f"HTTP {status}, {envelope.get('error')}"
+            )
+        status, envelope = core.submit(doc)
+        if status != 200:
+            raise InjectedFault(
+                f"retry after the handler fault failed: "
+                f"{envelope['error']}"
+            )
+        if envelope["result"] != _service_expected(ctx, ctx.nreg):
+            raise InjectedFault(
+                "service payload diverged from the direct pipeline call"
+            )
+    finally:
+        core.drain(5.0)
+
+
+def _body_service_store(ctx: _Ctx) -> None:
+    """The result store's disk write fails mid-request; the request
+    still succeeds, the memory overlay keeps replay idempotent, and the
+    payload stays byte-identical to the direct call."""
+    import pathlib
+
+    from repro.service.server import ServiceConfig, ServiceCore
+
+    store_dir = pathlib.Path(ctx.tmp_dir) / "service-store"
+    core = ServiceCore(
+        ServiceConfig(workers=1, queue_depth=4, store_dir=str(store_dir))
+    )
+    core.start()
+    try:
+        doc = _service_doc(ctx, ctx.nreg)
+        status, envelope = core.submit(doc)
+        if status != 200:
+            raise InjectedFault(
+                f"request failed on an injected store write fault "
+                f"(the breaker should absorb it): {envelope['error']}"
+            )
+        status, replay = core.submit(doc)
+        if status != 200 or not replay["cached"] \
+                or replay["result"] != envelope["result"]:
+            raise InjectedFault(
+                "memory overlay did not cover the failed disk write"
+            )
+        if envelope["result"] != _service_expected(ctx, ctx.nreg):
+            raise InjectedFault(
+                "service payload diverged from the direct pipeline call"
+            )
+    finally:
+        core.drain(5.0)
+
+
+def _body_service_breaker(ctx: _Ctx) -> None:
+    """Repeated store failures trip the circuit breaker (requests keep
+    succeeding memory-only); after the cooldown the half-open probe
+    recovers it and disk persistence resumes."""
+    import pathlib
+
+    from repro.service.server import ServiceConfig, ServiceCore
+
+    clk = {"t": 0.0}
+    store_dir = pathlib.Path(ctx.tmp_dir) / "service-store"
+    core = ServiceCore(
+        ServiceConfig(
+            workers=1,
+            queue_depth=8,
+            store_dir=str(store_dir),
+            breaker_threshold=2,
+            breaker_cooldown=5.0,
+        ),
+        clock=lambda: clk["t"],
+    )
+    core.start()
+    try:
+        # Distinct budgets -> distinct keys -> one store write each
+        # (growing, so every budget stays feasible).
+        for nreg in (ctx.nreg, ctx.nreg + 8):
+            status, envelope = core.submit(_service_doc(ctx, nreg))
+            if status != 200:
+                raise InjectedFault(
+                    f"request failed during store faults: "
+                    f"{envelope['error']}"
+                )
+        if core.breakers["store"].state != "open":
+            raise InjectedFault(
+                "store breaker did not trip after repeated write "
+                f"failures (state: {core.breakers['store'].state})"
+            )
+        clk["t"] += 6.0  # past the cooldown: next call is the probe
+        status, envelope = core.submit(_service_doc(ctx, ctx.nreg + 16))
+        if status != 200:
+            raise InjectedFault(
+                f"half-open probe request failed: {envelope['error']}"
+            )
+        if core.breakers["store"].state != "closed":
+            raise InjectedFault(
+                "store breaker did not recover after the cooldown "
+                f"probe (state: {core.breakers['store'].state})"
+            )
+        if not list(store_dir.glob("*.json")):
+            raise InjectedFault(
+                "recovered store never persisted an entry to disk"
+            )
+        if envelope["result"] != _service_expected(ctx, ctx.nreg + 16):
+            raise InjectedFault(
+                "service payload diverged from the direct pipeline call"
+            )
+    finally:
+        core.drain(5.0)
+
+
 SCENARIOS: Tuple[Scenario, ...] = (
     Scenario(
         name="baseline",
@@ -373,6 +523,33 @@ SCENARIOS: Tuple[Scenario, ...] = (
         specs=(FaultSpec("sim.bitflip", mode="bitflip", after=1, count=1),),
         expect="masked-or-error",
         body=_body_sim,
+    ),
+    Scenario(
+        name="service-handler-fault",
+        description="a service worker dies mid-request; the caller "
+        "gets a typed envelope and the retry serves the byte-identical "
+        "healthy payload",
+        specs=(FaultSpec("service.handler", mode="error", count=1),),
+        expect="masked",
+        body=_body_service_handler,
+    ),
+    Scenario(
+        name="service-store-fault",
+        description="the result store's disk write fails; the breaker "
+        "absorbs it, the memory overlay keeps replay idempotent, and "
+        "the payload matches the direct pipeline call",
+        specs=(FaultSpec("service.store", mode="error", count=1),),
+        expect="masked",
+        body=_body_service_store,
+    ),
+    Scenario(
+        name="service-breaker-trip",
+        description="repeated store failures trip the circuit breaker "
+        "(requests keep succeeding memory-only); the cooldown probe "
+        "recovers it and disk persistence resumes",
+        specs=(FaultSpec("service.store", mode="error", count=2),),
+        expect="masked",
+        body=_body_service_breaker,
     ),
     Scenario(
         name="runaway-reference",

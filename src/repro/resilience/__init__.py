@@ -26,6 +26,7 @@ from repro.resilience.guard import (
     LADDER,
     Degradation,
     Rung,
+    backoff_delays,
     clear_degradations,
     degradations,
     record_degradation,
@@ -41,6 +42,7 @@ __all__ = [
     "FaultSpec",
     "LADDER",
     "Rung",
+    "backoff_delays",
     "clear_degradations",
     "degradations",
     "inject",

@@ -50,6 +50,15 @@ site                   where / what
 ``sim.stuck``          both engines, at memory blocks; the thread's wake
                        time moves past any plausible ``max_cycles`` so
                        only the watchdog can end the run
+``service.handler``    :mod:`repro.service.server` worker loop, after a
+                       request is dequeued and before the pipeline runs;
+                       mode ``error`` raises
+                       :class:`~repro.errors.InjectedFault`, which the
+                       service converts into a typed error envelope
+``service.store``      :class:`repro.service.store.ResultStore` reads and
+                       writes; mode ``corrupt`` damages the on-disk entry,
+                       mode ``error`` raises :class:`OSError` (absorbed by
+                       the store breaker -- requests still succeed)
 =====================  ====================================================
 """
 

@@ -26,6 +26,12 @@ rung                                    degraded mode
                                         keep the in-memory LRU
 ``alloc.greedy_to_spill``               pre-spill the hungriest thread
                                         and retry the greedy allocation
+``service.store_to_memory``             serve the result store from the
+                                        in-memory overlay only
+``service.engine_to_reference``         run service simulation verdicts
+                                        on the reference interpreter
+``service.verify_to_skip``              skip service-side verification,
+                                        flag the response envelope
 ======================================  =================================
 
 Transient failures that do not merit a rung change (an injected
@@ -36,7 +42,9 @@ each retry tagged with a ``resilience.retry`` event.
 
 from __future__ import annotations
 
+import random
 import time
+import zlib
 from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import (
@@ -109,6 +117,28 @@ LADDER: Tuple[Rung, ...] = (
         "threads' lower bounds",
         action="pre-spill the hungriest thread (Chaitin-style) and "
         "retry the cross-thread allocation",
+    ),
+    Rung(
+        name="service.store_to_memory",
+        trigger="the service's content-addressed result store keeps "
+        "failing (unwritable directory, corrupt entries)",
+        action="serve results from the in-memory overlay only; "
+        "idempotent replay across restarts is lost until the breaker "
+        "half-opens and a probe write succeeds",
+    ),
+    Rung(
+        name="service.engine_to_reference",
+        trigger="the requested simulation engine keeps failing on "
+        "service verdict runs",
+        action="run service simulation verdicts on the reference "
+        "interpreter and flag the response envelope",
+    ),
+    Rung(
+        name="service.verify_to_skip",
+        trigger="the independent allocation verifier keeps crashing "
+        "(not: rejecting) on service requests",
+        action="skip verification and flag the response envelope "
+        "(`verify:skipped`); allocations still ship, unverified",
     ),
 )
 
@@ -185,6 +215,39 @@ def watching() -> Iterator[List[Degradation]]:
         new.extend(_log[mark:])
 
 
+def backoff_delays(
+    backoff: float,
+    attempts: int,
+    jitter: float = 0.0,
+    rng: Optional[random.Random] = None,
+    label: str = "work",
+) -> List[float]:
+    """The retry delay schedule: exponential backoff, optionally jittered.
+
+    Delay ``k`` (0-based) is ``backoff * 2**k``, scaled by a factor
+    drawn uniformly from ``[1 - jitter, 1]`` when ``jitter > 0``.  The
+    scale-*down* direction means a jittered schedule never waits longer
+    than the deterministic one, only decorrelates callers that would
+    otherwise retry in lockstep against a shared resource (the service's
+    admission queue, the fabric's claim files).
+
+    Jitter is deterministic and seedable: pass an explicit
+    ``random.Random`` to control the stream, or let the default derive a
+    stable per-``label`` seed (``crc32(label)``) -- two processes
+    retrying different labels decorrelate, while one label replays the
+    same schedule run over run.  ``jitter=0.0`` (the default everywhere)
+    draws nothing and returns the exact historical schedule.
+    """
+    if not 0.0 <= jitter < 1.0:
+        raise ValueError(f"jitter must be in [0, 1), got {jitter}")
+    delays = [backoff * (2 ** k) for k in range(max(attempts - 1, 0))]
+    if jitter > 0.0:
+        if rng is None:
+            rng = random.Random(zlib.crc32(label.encode()))
+        delays = [d * (1.0 - jitter * rng.random()) for d in delays]
+    return delays
+
+
 def retry_transient(
     fn: Callable[[], T],
     attempts: int = 3,
@@ -192,17 +255,25 @@ def retry_transient(
     retry_on: Tuple[Type[BaseException], ...] = (TransientError,),
     label: str = "work",
     sleep: Callable[[float], None] = time.sleep,
+    jitter: float = 0.0,
+    rng: Optional[random.Random] = None,
 ) -> T:
     """Run ``fn`` with bounded retry for transient failures.
 
     Retries only exceptions in ``retry_on`` (default:
     :class:`TransientError`); anything else propagates immediately.
     Waits ``backoff * 2**k`` seconds before retry ``k`` (the default
-    ``backoff=0.0`` keeps tests instant).  The last attempt's exception
-    propagates unchanged, so an unmaskable fault still surfaces typed.
+    ``backoff=0.0`` keeps tests instant).  ``jitter`` decorrelates the
+    schedule across concurrent callers (see :func:`backoff_delays`);
+    the zero-jitter default keeps the historical byte-identical delays
+    and events.  The last attempt's exception propagates unchanged, so
+    an unmaskable fault still surfaces typed.
     """
     if attempts < 1:
         raise ValueError(f"attempts must be >= 1, got {attempts}")
+    delays = backoff_delays(
+        backoff, attempts, jitter=jitter, rng=rng, label=label
+    )
     for attempt in range(1, attempts + 1):
         try:
             return fn()
@@ -220,5 +291,5 @@ def retry_transient(
                 )
                 obs_metrics.registry().counter("resilience.retry").inc()
             if backoff > 0:
-                sleep(backoff * (2 ** (attempt - 1)))
+                sleep(delays[attempt - 1])
     raise AssertionError("unreachable")  # pragma: no cover

@@ -1,0 +1,63 @@
+"""Allocation-as-a-service: the hardened ``repro.service`` frontend.
+
+The service turns the one-shot allocation pipeline into a long-running,
+fault-tolerant endpoint with an explicit robustness contract:
+
+* **admission** (:mod:`~repro.service.admission`) -- bounded queue,
+  FIFO within priority, typed 429 shedding with ``retry_after``;
+* **coalescing** (:mod:`~repro.service.coalesce`) -- identical
+  in-flight requests share one pipeline execution;
+* **result store** (:mod:`~repro.service.store`) -- content-addressed,
+  idempotent replay across restarts;
+* **circuit breakers** (:mod:`~repro.service.breaker`) -- per-subsystem
+  degradation layered on the :mod:`repro.resilience.guard` ladder;
+* **protocol** (:mod:`~repro.service.protocol`) -- request validation,
+  canonical keys, ok/error envelopes;
+* **server** (:mod:`~repro.service.server`) -- the lifecycle core and
+  the stdlib HTTP frontend with health/readiness/drain;
+* **client** (:mod:`~repro.service.client`) -- synchronous caller with
+  typed exception rehydration and backoff-honouring retries.
+
+See ``docs/SERVICE.md`` for the protocol and operations guide.
+"""
+
+from repro.service.admission import AdmissionQueue
+from repro.service.breaker import BreakerBoard, CircuitBreaker
+from repro.service.client import ServiceClient
+from repro.service.coalesce import Coalescer
+from repro.service.protocol import (
+    OPTION_DEFAULTS,
+    SCHEMA,
+    canonical_options,
+    error_envelope,
+    exception_for,
+    http_status,
+    ok_envelope,
+    outcome_payload,
+    parse_request,
+    request_key,
+)
+from repro.service.server import ReproServer, ServiceConfig, ServiceCore
+from repro.service.store import ResultStore
+
+__all__ = [
+    "AdmissionQueue",
+    "BreakerBoard",
+    "CircuitBreaker",
+    "Coalescer",
+    "OPTION_DEFAULTS",
+    "ReproServer",
+    "ResultStore",
+    "SCHEMA",
+    "ServiceClient",
+    "ServiceConfig",
+    "ServiceCore",
+    "canonical_options",
+    "error_envelope",
+    "exception_for",
+    "http_status",
+    "ok_envelope",
+    "outcome_payload",
+    "parse_request",
+    "request_key",
+]

@@ -1,0 +1,144 @@
+"""Bounded admission with explicit backpressure.
+
+The queue is the service's budgeted resource, managed the way the paper
+manages registers: a hard bound, deterministic shedding at the bound,
+and observable occupancy.  ``offer`` either admits a request or raises
+a typed :class:`~repro.errors.ServiceOverloaded` *immediately* -- there
+is no unbounded buffering and no blocking producer path, so overload
+surfaces as fast, typed backpressure (429 + ``retry_after``) instead of
+queue growth or hangs.
+
+Ordering is **FIFO within priority**: items are served strictly by
+``(priority, arrival sequence)``, so an urgent request overtakes batch
+work but two requests of equal priority never reorder (the invariant
+the hypothesis property test in ``tests/test_service.py`` drives).
+
+Telemetry: ``service.queue_depth`` gauge tracks occupancy on every
+transition, ``service.shed`` counts rejections, and a ``service.shed``
+event fires when a capture is active.  Metric counters are recorded
+unconditionally -- a server scrapes ``/metrics`` whether or not an
+event capture is running.
+"""
+
+from __future__ import annotations
+
+import heapq
+import threading
+from typing import Any, List, Optional, Tuple
+
+from repro.errors import ServiceOverloaded
+from repro.obs import events as obs
+from repro.obs import metrics as obs_metrics
+
+
+class AdmissionQueue:
+    """A bounded priority queue that sheds instead of growing.
+
+    ``bound`` is the maximum number of queued (admitted, not yet taken)
+    items; ``retry_after`` is the backoff hint carried by the
+    :class:`ServiceOverloaded` raised at the bound.
+    """
+
+    def __init__(self, bound: int, retry_after: float = 0.05):
+        if bound < 1:
+            raise ValueError(f"admission bound must be >= 1, got {bound}")
+        self.bound = bound
+        self.retry_after = retry_after
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+        self._heap: List[Tuple[int, int, Any]] = []
+        self._seq = 0
+        self._closed = False
+        self.shed_count = 0
+        self.admitted_count = 0
+
+    # ------------------------------------------------------------------
+    def _set_depth_locked(self) -> None:
+        obs_metrics.registry().gauge("service.queue_depth").set(
+            len(self._heap)
+        )
+
+    @property
+    def depth(self) -> int:
+        with self._lock:
+            return len(self._heap)
+
+    @property
+    def closed(self) -> bool:
+        with self._lock:
+            return self._closed
+
+    def offer(self, item: Any, priority: int = 1) -> None:
+        """Admit ``item`` or raise :class:`ServiceOverloaded`.
+
+        Never blocks: the full queue and the draining server are both
+        immediate, typed rejections carrying ``retry_after``.
+        """
+        with self._lock:
+            if self._closed:
+                shed_reason = "draining"
+            elif len(self._heap) >= self.bound:
+                shed_reason = "queue-full"
+            else:
+                heapq.heappush(self._heap, (priority, self._seq, item))
+                self._seq += 1
+                self.admitted_count += 1
+                self._set_depth_locked()
+                self._not_empty.notify()
+                return
+            self.shed_count += 1
+            depth = len(self._heap)
+        obs_metrics.registry().counter("service.shed").inc()
+        em = obs.get_emitter()
+        if em.enabled:
+            em.emit(
+                "service.shed",
+                reason=shed_reason,
+                depth=depth,
+                bound=self.bound,
+            )
+        if shed_reason == "draining":
+            raise ServiceOverloaded(
+                "service is draining and no longer admits requests",
+                retry_after=self.retry_after,
+            )
+        raise ServiceOverloaded(
+            f"admission queue full ({depth}/{self.bound}); retry after "
+            f"{self.retry_after:.3f}s",
+            retry_after=self.retry_after,
+        )
+
+    def take(self, timeout: Optional[float] = None) -> Optional[Any]:
+        """Pop the next item in ``(priority, arrival)`` order.
+
+        Blocks up to ``timeout`` seconds (forever when ``None``);
+        returns ``None`` on timeout or when the queue is closed and
+        empty -- the worker-loop shutdown signal.
+        """
+        with self._not_empty:
+            while not self._heap:
+                if self._closed:
+                    return None
+                if not self._not_empty.wait(timeout=timeout):
+                    return None
+            _, _, item = heapq.heappop(self._heap)
+            self._set_depth_locked()
+            return item
+
+    def close(self) -> None:
+        """Stop admitting; queued items stay takeable (graceful drain).
+
+        Wakes every blocked :meth:`take` so worker loops can observe
+        the close and exit once the backlog is gone.
+        """
+        with self._not_empty:
+            self._closed = True
+            self._not_empty.notify_all()
+
+    def drain_remaining(self) -> List[Any]:
+        """Remove and return every queued item (deadline-out on drain)."""
+        with self._lock:
+            items = [item for _, _, item in sorted(self._heap)]
+            self._heap.clear()
+            self._set_depth_locked()
+            return items

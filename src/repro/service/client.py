@@ -1,0 +1,162 @@
+"""Synchronous client for the allocation service.
+
+:class:`ServiceClient` speaks the ``repro.service/1`` protocol over
+plain ``http.client`` (stdlib only) and turns error envelopes back into
+the same typed exceptions the library raises locally, so callers handle
+a remote :class:`~repro.errors.AllocationError` exactly like a local
+one.
+
+Backpressure is honoured, not fought: a 429 :class:`~repro.errors.
+ServiceOverloaded` response is retried up to ``retries`` times, waiting
+the server's ``retry_after`` hint stretched by the jittered exponential
+schedule from :func:`repro.resilience.guard.backoff_delays` (seedable,
+zero-jitter by default -- the retry timeline is reproducible).  Every
+other typed error is raised immediately: retrying a
+:class:`~repro.errors.RequestRejected` or a failed allocation would
+just repeat the failure.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+from repro.errors import ServiceError, ServiceOverloaded
+from repro.resilience.guard import backoff_delays
+from repro.service import protocol
+
+
+class ServiceClient:
+    """A synchronous ``repro.service/1`` client (see module docstring)."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8742,
+        timeout: float = 60.0,
+        retries: int = 3,
+        backoff: float = 0.05,
+        jitter: float = 0.0,
+        rng=None,
+        sleep=time.sleep,
+    ):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self.retries = retries
+        self.backoff = backoff
+        self.jitter = jitter
+        self.rng = rng
+        self.sleep = sleep
+
+    # ------------------------------------------------------------------
+    # Transport.
+    # ------------------------------------------------------------------
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: Optional[bytes] = None,
+    ) -> Any:
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            headers = {"Content-Type": "application/json"} if body else {}
+            conn.request(method, path, body=body, headers=headers)
+            response = conn.getresponse()
+            raw = response.read()
+        finally:
+            conn.close()
+        if path == "/metrics":
+            return raw.decode()
+        try:
+            return json.loads(raw)
+        except ValueError:
+            raise ServiceError(
+                f"service returned non-JSON for {method} {path} "
+                f"(HTTP {response.status}): {raw[:200]!r}"
+            )
+
+    # ------------------------------------------------------------------
+    # The protocol surface.
+    # ------------------------------------------------------------------
+    def submit(self, doc: Dict[str, Any]) -> Dict[str, Any]:
+        """POST a raw request document; return the full ok envelope.
+
+        Typed errors come back as raised exceptions
+        (:func:`~repro.service.protocol.exception_for`);
+        :class:`ServiceOverloaded` is retried on the jittered backoff
+        schedule, honouring the server's ``retry_after`` floor.
+        """
+        body = json.dumps(doc, sort_keys=True).encode()
+        # retries = extra attempts after the first, so the schedule
+        # needs one delay per retry (attempts = retries + 1).
+        delays = backoff_delays(
+            self.backoff,
+            self.retries + 1,
+            jitter=self.jitter,
+            rng=self.rng,
+            label="service.submit",
+        )
+        attempt = 0
+        while True:
+            envelope = self._request("POST", "/v1/allocate", body)
+            if envelope.get("status") == "ok":
+                return envelope
+            exc = protocol.exception_for(envelope)
+            if (
+                not isinstance(exc, ServiceOverloaded)
+                or attempt >= self.retries
+            ):
+                raise exc
+            self.sleep(max(exc.retry_after, delays[attempt]))
+            attempt += 1
+
+    def allocate(
+        self,
+        programs: Sequence[Union[str, Dict[str, Any]]],
+        priority: int = 1,
+        deadline_s: Optional[float] = None,
+        **options: Any,
+    ) -> Dict[str, Any]:
+        """Allocate ``programs`` and return the result payload.
+
+        Each program is a kernel name (suite reference), an assembly
+        string (anything with a newline or spaces), or an explicit
+        ``{"kernel": ...}`` / ``{"asm": ...}`` object.  Keyword options
+        are the protocol options (``nreg``, ``policy``, ``simulate``,
+        ``engine``, ``verify``, ``check_init``).
+        """
+        docs: List[Dict[str, Any]] = []
+        for program in programs:
+            if isinstance(program, dict):
+                docs.append(program)
+            elif "\n" in program or " " in program.strip():
+                docs.append({"asm": program})
+            else:
+                docs.append({"kernel": program})
+        doc: Dict[str, Any] = {"programs": docs}
+        doc.update(options)
+        if priority != 1:
+            doc["priority"] = priority
+        if deadline_s is not None:
+            doc["deadline_s"] = deadline_s
+        return self.submit(doc)["result"]
+
+    # ------------------------------------------------------------------
+    # Operational endpoints.
+    # ------------------------------------------------------------------
+    def health(self) -> Dict[str, Any]:
+        return self._request("GET", "/healthz")
+
+    def ready(self) -> bool:
+        return bool(self._request("GET", "/readyz").get("ready"))
+
+    def status(self) -> Dict[str, Any]:
+        return self._request("GET", "/statusz")
+
+    def metrics_text(self) -> str:
+        return self._request("GET", "/metrics")

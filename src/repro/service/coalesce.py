@@ -1,0 +1,122 @@
+"""In-flight request coalescing keyed on content addresses.
+
+N identical concurrent requests (same :func:`~repro.service.protocol.
+request_key`: same program fingerprints, same canonical options) share
+ONE pipeline execution.  The first arrival becomes the **leader** and
+owns the execution; every later arrival is a **follower** that parks on
+the leader's entry and wakes with the same result object -- the
+ILP-aware-co-scheduling idea from the admission layer's point of view:
+identical work admitted once, served N times.
+
+The entry is resolved exactly once (result or typed error) and then
+removed from the table, so a *later* identical request starts a fresh
+execution (or, in the full service, hits the result store first).
+Followers never outlive their deadline: :meth:`Entry.wait` takes a
+timeout and converts expiry into a typed
+:class:`~repro.errors.DeadlineExceeded`.
+
+Telemetry: ``service.coalesced`` counts followers; the counter is
+recorded unconditionally (servers scrape ``/metrics`` without an event
+capture), events only under an active capture.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, Optional, Tuple
+
+from repro.errors import DeadlineExceeded
+from repro.obs import events as obs
+from repro.obs import metrics as obs_metrics
+
+
+class Entry:
+    """One in-flight execution: an event plus its eventual outcome."""
+
+    __slots__ = ("key", "done", "result", "error", "followers")
+
+    def __init__(self, key: str):
+        self.key = key
+        self.done = threading.Event()
+        self.result: Optional[Any] = None
+        self.error: Optional[BaseException] = None
+        self.followers = 0
+
+    def wait(self, timeout: Optional[float]) -> Any:
+        """Block for the outcome; raise it when it is a typed error.
+
+        A timeout means the follower's own deadline expired while the
+        leader was still working -- a typed
+        :class:`DeadlineExceeded`, never a hang.
+        """
+        if not self.done.wait(timeout=timeout):
+            raise DeadlineExceeded(
+                f"deadline expired waiting on coalesced execution "
+                f"{self.key[:12]}",
+                phase="coalesce-wait",
+            )
+        if self.error is not None:
+            raise self.error
+        return self.result
+
+
+class Coalescer:
+    """The in-flight table: key -> :class:`Entry`."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._inflight: Dict[str, Entry] = {}
+
+    def lease(self, key: str) -> Tuple[Entry, bool]:
+        """Join (or start) the in-flight execution for ``key``.
+
+        Returns ``(entry, leader)``: the leader must eventually call
+        :meth:`resolve` exactly once -- on success, on error, and on
+        shed alike -- or followers would wait out their deadlines.
+        """
+        with self._lock:
+            entry = self._inflight.get(key)
+            if entry is not None:
+                entry.followers += 1
+                obs_metrics.registry().counter("service.coalesced").inc()
+                em = obs.get_emitter()
+                if em.enabled:
+                    em.emit(
+                        "service.coalesced",
+                        key=key[:12],
+                        followers=entry.followers,
+                    )
+                return entry, False
+            entry = Entry(key)
+            self._inflight[key] = entry
+            return entry, True
+
+    def resolve(
+        self,
+        entry: Entry,
+        result: Optional[Any] = None,
+        error: Optional[BaseException] = None,
+    ) -> None:
+        """Publish the outcome and retire the entry (idempotent)."""
+        with self._lock:
+            if self._inflight.get(entry.key) is entry:
+                del self._inflight[entry.key]
+        if not entry.done.is_set():
+            entry.result = result
+            entry.error = error
+            entry.done.set()
+
+    def abort_all(self, error: BaseException) -> int:
+        """Resolve every in-flight entry with ``error`` (server drain)."""
+        with self._lock:
+            entries = list(self._inflight.values())
+            self._inflight.clear()
+        for entry in entries:
+            if not entry.done.is_set():
+                entry.error = error
+                entry.done.set()
+        return len(entries)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._inflight)

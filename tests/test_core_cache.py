@@ -296,3 +296,46 @@ def test_pipeline_cached_matches_fresh():
     ]
     assert first.total_registers == second.total_registers
     assert first.total_moves == second.total_moves
+
+
+def test_quarantine_capped_oldest_first(tmp_path):
+    """The ``*.bad`` graveyard is bounded: beyond ``max_quarantine``
+    entries the oldest are removed (satellite of the service PR -- a
+    long-running server quarantining corrupt entries must not grow the
+    directory forever)."""
+    import os
+
+    from repro.core.cache import trim_quarantine
+
+    for i in range(6):
+        bad = tmp_path / f"entry{i}.bad"
+        bad.write_bytes(b"x")
+        # Distinct mtimes so "oldest" is well defined on coarse clocks.
+        os.utime(bad, (1000 + i, 1000 + i))
+    with events.capture() as em:
+        removed = trim_quarantine(tmp_path, cap=2)
+    assert removed == 4
+    survivors = sorted(p.name for p in tmp_path.glob("*.bad"))
+    assert survivors == ["entry4.bad", "entry5.bad"]
+    trims = [e for e in em.events if e.name == "cache.quarantine_trimmed"]
+    assert trims and trims[0].fields["trimmed"] == 4
+
+
+def test_quarantine_cap_applies_on_cache_quarantine(tmp_path):
+    """Quarantining through the cache itself respects the cap."""
+    import os
+
+    cache = AnalysisCache(cache_dir=tmp_path, max_quarantine=2)
+    texts = [FIG3_T1, FIG3_T2, MINI_KERNEL]
+    for i, text in enumerate(texts):
+        p = prog(text, f"t{i}")
+        cache.analyze(p)
+        path = tmp_path / f"{p.fingerprint()}.pkl"
+        path.write_bytes(b"garbage")
+        os.utime(path, (1000 + i, 1000 + i))
+        reader = AnalysisCache(cache_dir=tmp_path, max_quarantine=2)
+        reader.analyze(prog(text, f"t{i}"))
+        # re-corrupt trail: drop the freshly re-stored good entry so
+        # only the .bad files accumulate
+        path.unlink()
+    assert len(list(tmp_path.glob("*.bad"))) <= 2

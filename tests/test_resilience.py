@@ -153,6 +153,9 @@ def test_ladder_documents_every_rung():
         "sweep.parallel_to_serial",
         "cache.disk_to_memory",
         "alloc.greedy_to_spill",
+        "service.store_to_memory",
+        "service.engine_to_reference",
+        "service.verify_to_skip",
     }
     for rung in guard.LADDER:
         assert rung.trigger and rung.action
